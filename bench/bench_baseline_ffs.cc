@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Baseline: Flip Feng Shui (Razavi et al., USENIX Security'16) -- the
+ * prior hypervisor-level Rowhammer massaging primitive the paper
+ * positions itself against (Section 2.1).
+ *
+ * FFS needs memory deduplication: the attacker profiles *its own*
+ * memory for a vulnerable page, writes a byte-exact copy of the
+ * victim's sensitive page into that vulnerable location, waits for
+ * KSM to merge the two onto the attacker-chosen (vulnerable) frame,
+ * and hammers. The victim's data changes although nobody ever wrote
+ * it.
+ *
+ * The bench runs the full chain twice: with dedup enabled (the 2016
+ * world -- the attack works, end to end with real profiling and real
+ * hammering) and disabled (every contemporary cloud -- nothing to
+ * attack). This is exactly why HyperHammer needed a massaging
+ * primitive that does not depend on dedup.
+ */
+
+#include "bench_common.h"
+
+using namespace hh;
+using namespace hh::bench;
+
+namespace {
+
+struct FfsOutcome
+{
+    bool merged = false;
+    bool corrupted = false;
+    uint64_t flips = 0;
+    base::SimTime elapsed = 0;
+};
+
+FfsOutcome
+runFfs(bool dedup_enabled, const Options &opts)
+{
+    FfsOutcome outcome;
+    sys::SystemConfig cfg = presetByName("s1", opts);
+    if (opts.hostBytes == 0)
+        cfg.withMemory(2_GiB);
+    cfg.dram.fault.weakCellsPerRow *= 6.0; // short profiling run
+    sys::HostSystem host(cfg);
+    const base::SimTime start = host.clock().now();
+
+    vm::VmConfig vm_cfg;
+    vm_cfg.bootMemBytes = cfg.dram.totalBytes / 16;
+    vm_cfg.virtioMemRegionSize = cfg.dram.totalBytes;
+    vm_cfg.virtioMemPlugged = cfg.dram.totalBytes / 4;
+    vm_cfg.passthroughDevices = 0; // FFS predates VFIO pinning
+    auto attacker = host.createVm(vm_cfg);
+    auto victim = host.createVm(vm_cfg);
+
+    sys::Ksm ksm(host.dram(), host.buddy(), dedup_enabled);
+    ksm.attach(*attacker);
+    ksm.attach(*victim);
+
+    // The victim's sensitive page: a (mock) authorized_keys blob.
+    const GuestPhysAddr victim_key = vm::kVirtioMemRegionStart
+        + 17 * kPageSize;
+    for (unsigned word = 0; word < kPageSize / 8; ++word)
+        (void)victim->write64(victim_key + word * 8ull,
+                              0x7373682d72736120ull + word);
+
+    // 1. Profile the attacker's own memory (stable bits only --
+    //    FFS needs a reliable flip at a known in-page offset).
+    attack::ProfilerConfig pcfg;
+    pcfg.stopAfterExploitable = 0;
+    attack::MemoryProfiler profiler(*attacker, host.clock(),
+                                    host.dram().mapping(), pcfg);
+    const attack::ProfileResult profile =
+        profiler.profile(profilableRegion(*attacker));
+    // FFS picks a bit whose flip direction matches the polarity the
+    // victim's content stores at that position (the attacker knows
+    // the public content it duplicates).
+    const auto key_word_at = [](uint64_t page_offset) {
+        return 0x7373682d72736120ull + page_offset / 8;
+    };
+    const attack::VulnerableBit *target = nullptr;
+    for (const attack::VulnerableBit &bit : profile.bits) {
+        if (!bit.stable || !bit.releasable)
+            continue;
+        const uint64_t stored =
+            key_word_at(bit.wordGpa.value() % kPageSize);
+        const bool bit_is_one =
+            (stored >> bit.bitInWord) & 1;
+        const bool fires = bit.direction
+                == dram::FlipDirection::OneToZero
+            ? bit_is_one : !bit_is_one;
+        if (fires) {
+            target = &bit;
+            break;
+        }
+    }
+    if (!target) {
+        outcome.elapsed = host.clock().now() - start;
+        return outcome;
+    }
+
+    // 2. Write a byte-exact copy of the victim page into the
+    //    vulnerable page (the merge must land on *our* frame, which
+    //    KSM guarantees by keeping the first-scanned copy).
+    const GuestPhysAddr vuln_page = target->wordGpa.pageBase();
+    for (unsigned word = 0; word < kPageSize / 8; ++word) {
+        auto value = victim->read64(victim_key + word * 8ull);
+        (void)attacker->write64(vuln_page + word * 8ull, *value);
+    }
+
+    // 3. Wait for the dedup scanner: attacker's copy first (becomes
+    //    the stable frame), then the victim's page merges onto it.
+    (void)ksm.scanRange(*attacker, vuln_page, 1);
+    (void)ksm.scanRange(*victim, victim_key, 1);
+    outcome.merged = ksm.isShared(*victim, victim_key);
+
+    // 4. Hammer the profiled aggressors; the flip lands in the now
+    //    shared frame.
+    const uint64_t before =
+        victim->read64(victim_key
+                       + (target->wordGpa.value() % kPageSize))
+            .valueOr(0);
+    (void)attacker->hammer(target->aggressors, 250'000);
+    const uint64_t after =
+        victim->read64(victim_key
+                       + (target->wordGpa.value() % kPageSize))
+            .valueOr(0);
+    outcome.flips = before == after ? 0 : 1;
+    outcome.corrupted = outcome.merged && before != after;
+    outcome.elapsed = host.clock().now() - start;
+
+    attacker.reset();
+    victim.reset();
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv);
+    std::printf("== Baseline / Section 2.1: Flip Feng Shui vs. "
+                "memory deduplication ==\n");
+    analysis::TextTable table({"Dedup (KSM)", "Victim page merged",
+                               "Victim data corrupted",
+                               "Virtual time"});
+    for (const bool dedup : {true, false}) {
+        const FfsOutcome outcome = runFfs(dedup, opts);
+        table.addRow({
+            dedup ? "enabled (2016)" : "disabled (today)",
+            outcome.merged ? "yes" : "no",
+            outcome.corrupted ? "YES -- attack works" : "no",
+            base::SimClock::format(outcome.elapsed),
+        });
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nWith dedup off -- the default everywhere since "
+                "Razavi et al. -- Flip Feng Shui has no massaging "
+                "primitive left; HyperHammer's Page Steering exists "
+                "to fill exactly that gap.\n");
+    return 0;
+}

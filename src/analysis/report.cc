@@ -1,0 +1,153 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/log.h"
+
+namespace hh::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    HH_ASSERT(cells.size() == headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t i = 0; i < headers.size(); ++i)
+        widths[i] = headers[i].size();
+    for (const auto &row : rows)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out << (i ? "  " : "");
+            out << cells[i];
+            out << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        out << "\n";
+    };
+    emit(headers);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return out.str();
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatCount(uint64_t value)
+{
+    // Digit grouping for readability: 51200 -> "51,200".
+    std::string digits = std::to_string(value);
+    std::string out;
+    int counter = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (counter && counter % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++counter;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+renderSeries(const std::vector<base::Series> &series, unsigned width,
+             unsigned height, const std::vector<double> &guides)
+{
+    if (series.empty() || width < 8 || height < 4)
+        return "";
+    double x_max = 0.0;
+    double y_max = 0.0;
+    for (const base::Series &s : series) {
+        for (const auto &p : s.data()) {
+            x_max = std::max(x_max, p.x);
+            y_max = std::max(y_max, p.y);
+        }
+    }
+    for (double g : guides)
+        y_max = std::max(y_max, g);
+    if (x_max <= 0.0 || y_max <= 0.0)
+        return "";
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    const auto to_col = [&](double x) {
+        return std::min<unsigned>(
+            width - 1,
+            static_cast<unsigned>(x / x_max * (width - 1)));
+    };
+    const auto to_row = [&](double y) {
+        const unsigned r =
+            static_cast<unsigned>(y / y_max * (height - 1));
+        return height - 1 - std::min(r, height - 1);
+    };
+
+    for (double g : guides) {
+        const unsigned r = to_row(g);
+        for (unsigned c = 0; c < width; ++c)
+            grid[r][c] = '-';
+    }
+    const char glyphs[] = {'*', '+', 'o', 'x', '#'};
+    for (size_t s = 0; s < series.size(); ++s) {
+        const char glyph = glyphs[s % sizeof(glyphs)];
+        for (const auto &p : series[s].data())
+            grid[to_row(p.y)][to_col(p.x)] = glyph;
+    }
+
+    std::ostringstream out;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%10.0f |", y_max);
+    out << label << grid[0] << "\n";
+    for (unsigned r = 1; r + 1 < height; ++r)
+        out << "           |" << grid[r] << "\n";
+    std::snprintf(label, sizeof(label), "%10.0f |", 0.0);
+    out << label << grid[height - 1] << "\n";
+    out << "           +" << std::string(width, '-') << "\n";
+    std::snprintf(label, sizeof(label), "%.0f", x_max);
+    std::string axis = "            0";
+    const size_t target = 12 + width;
+    const std::string max_label(label);
+    if (axis.size() + max_label.size() < target)
+        axis += std::string(target - axis.size() - max_label.size(),
+                            ' ');
+    axis += max_label;
+    out << axis << "\n";
+    for (size_t s = 0; s < series.size(); ++s) {
+        out << "            [" << glyphs[s % sizeof(glyphs)] << "] "
+            << series[s].name() << "\n";
+    }
+    return out.str();
+}
+
+} // namespace hh::analysis

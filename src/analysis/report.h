@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text report helpers for the benchmark harness: fixed-width
+ * tables matching the paper's layout, and ASCII renderings of the
+ * Figure 3 style series.
+ */
+
+#ifndef HYPERHAMMER_ANALYSIS_REPORT_H
+#define HYPERHAMMER_ANALYSIS_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+
+namespace hh::analysis {
+
+/**
+ * A fixed-width text table: set headers once, add rows of cells, then
+ * render. Column widths adapt to content.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format helpers used across the bench binaries. */
+std::string formatPercent(double fraction, int decimals = 1);
+std::string formatCount(uint64_t value);
+std::string formatDouble(double value, int decimals = 1);
+
+/**
+ * Render an (x, y) series as an ASCII chart with the given size, with
+ * optional horizontal guide lines (Figure 3's 512/1,024 thresholds).
+ */
+std::string renderSeries(const std::vector<base::Series> &series,
+                         unsigned width = 72, unsigned height = 16,
+                         const std::vector<double> &guides = {});
+
+} // namespace hh::analysis
+
+#endif // HYPERHAMMER_ANALYSIS_REPORT_H

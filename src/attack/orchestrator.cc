@@ -1,0 +1,264 @@
+#include "orchestrator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace hh::attack {
+
+double
+AttackResult::avgAttemptSeconds() const
+{
+    if (outcomes.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const AttemptOutcome &outcome : outcomes)
+        total += base::SimClock::toSeconds(outcome.duration);
+    return total / static_cast<double>(outcomes.size());
+}
+
+base::SimTime
+expectedEndToEndTime(base::SimTime full_profile_time,
+                     uint64_t exploitable_found, unsigned bits_needed,
+                     unsigned expected_attempts)
+{
+    if (exploitable_found == 0)
+        return 0;
+    // Profiling can stop once bits_needed bits are found, i.e. after
+    // bits_needed / exploitable_found of a full pass (Section 5.3.3).
+    const double per_attempt_profile =
+        static_cast<double>(full_profile_time)
+        * static_cast<double>(bits_needed)
+        / static_cast<double>(exploitable_found);
+    return static_cast<base::SimTime>(per_attempt_profile
+                                      * expected_attempts);
+}
+
+HyperHammerAttack::HyperHammerAttack(sys::HostSystem &host,
+                                     vm::VmConfig vm_config,
+                                     dram::AddressMapping attacker_mapping,
+                                     AttackConfig config)
+    : host(host),
+      vmCfg(vm_config),
+      mapping(std::move(attacker_mapping)),
+      cfg(config)
+{
+    // Plant the hypervisor secret the attacker will try to reach:
+    // a host kernel page holding a magic value.
+    auto frame = host.buddy().allocPages(0, mm::MigrateType::Unmovable,
+                                         mm::PageUse::KernelData);
+    if (!frame)
+        base::fatal("cannot allocate the host secret page");
+    secretFrame = *frame;
+    secretAddr = HostPhysAddr(secretFrame * kPageSize + 0x5e8);
+    secret = base::mix64(0x5ec7e7, host.config().seed) | 1;
+    host.dram().write64(secretAddr, secret);
+}
+
+HyperHammerAttack::~HyperHammerAttack()
+{
+    machine.reset();
+    if (secretFrame != kInvalidPfn) {
+        host.dram().backend().clearPage(secretFrame);
+        host.buddy().freePages(secretFrame, 0);
+    }
+}
+
+ProfileResult
+HyperHammerAttack::profilePhase()
+{
+    machine = host.createVm(vmCfg);
+
+    MemoryProfiler profiler(*machine, host.clock(), mapping,
+                            cfg.profiler);
+    // Profile the virtio-mem region only: boot RAM cannot be released.
+    std::vector<GuestPhysAddr> region;
+    for (GuestPhysAddr hp : machine->hugePageGpas()) {
+        if (machine->memDevice_().contains(hp))
+            region.push_back(hp);
+    }
+    const ProfileResult result = profiler.profile(region);
+
+    // Convert to host-physical records for reuse across respawns.
+    bits.clear();
+    for (const VulnerableBit &bit : result.bits) {
+        // Only bits that are both in the exploitable range and
+        // releasable (victim and aggressors in different host
+        // hugepages -- a host-physical property that survives
+        // respawns) are worth keeping.
+        if (!bit.exploitable || !bit.releasable)
+            continue;
+        HostVulnBit record;
+        auto word_hpa = machine->debugTranslate(bit.wordGpa);
+        if (!word_hpa)
+            continue;
+        record.wordHpa = *word_hpa;
+        record.bitInWord = bit.bitInWord;
+        record.direction = bit.direction;
+        record.stable = bit.stable;
+        bool ok = true;
+        for (GuestPhysAddr aggressor : bit.aggressors) {
+            auto hpa = machine->debugTranslate(aggressor);
+            if (!hpa) {
+                ok = false;
+                break;
+            }
+            record.aggressorHpas.push_back(*hpa);
+        }
+        if (ok)
+            bits.push_back(std::move(record));
+    }
+    // Prefer stable bits when an attempt can only use twelve.
+    std::stable_sort(bits.begin(), bits.end(),
+                     [](const HostVulnBit &a, const HostVulnBit &b) {
+                         return a.stable > b.stable;
+                     });
+    return result;
+}
+
+std::vector<VulnerableBit>
+HyperHammerAttack::relocateTargets(vm::VirtualMachine &current) const
+{
+    // Build host-hugepage -> guest-hugepage index via the hypercall.
+    std::unordered_map<uint64_t, GuestPhysAddr> host_to_guest;
+    for (GuestPhysAddr hp : current.hugePageGpas()) {
+        auto hpa = current.debugTranslate(hp);
+        if (hpa)
+            host_to_guest[hpa->hugePageBase().value()] = hp;
+    }
+
+    auto locate = [&](HostPhysAddr hpa) -> base::Expected<GuestPhysAddr> {
+        const auto it =
+            host_to_guest.find(hpa.hugePageBase().value());
+        if (it == host_to_guest.end())
+            return base::ErrorCode::NotFound;
+        return it->second + hpa.hugePageOffset();
+    };
+
+    // Each released bit needs ~512 EPT pages sprayed over it, plus
+    // one block's worth of margin for the small-order leftovers, so
+    // cap the batch at H/512 - 1 for H usable hugepages (the paper's
+    // "1 GB of guest memory per vulnerable bit", Section 4.3: 12 bits
+    // from a 13 GB guest).
+    const uint64_t hugepages = current.memorySize() / kHugePageSize;
+    const uint64_t groups = hugepages / kEntriesPerTable;
+    const unsigned spray_cap = static_cast<unsigned>(
+        std::max<uint64_t>(1, groups > 1 ? groups - 1 : 1));
+    const unsigned batch = std::min(cfg.bitsPerAttempt, spray_cap);
+
+    std::vector<VulnerableBit> targets;
+    for (const HostVulnBit &record : bits) {
+        if (targets.size() >= batch)
+            break;
+        auto word_gpa = locate(record.wordHpa);
+        if (!word_gpa)
+            continue;
+        // The victim hugepage must be releasable (virtio-mem region).
+        const GuestPhysAddr victim_hp = word_gpa->hugePageBase();
+        if (!current.memDevice_().contains(victim_hp))
+            continue;
+        VulnerableBit bit;
+        bit.wordGpa = *word_gpa;
+        bit.bitInWord = record.bitInWord;
+        bit.direction = record.direction;
+        bit.stable = record.stable;
+        bit.victimHugePage = victim_hp;
+        bool ok = true;
+        for (HostPhysAddr aggressor : record.aggressorHpas) {
+            auto gpa = locate(aggressor);
+            if (!gpa || gpa->hugePageBase() == victim_hp) {
+                ok = false;
+                break;
+            }
+            bit.aggressors.push_back(*gpa);
+        }
+        if (!ok || bit.aggressors.empty())
+            continue;
+        bit.aggressorHugePage = bit.aggressors.front().hugePageBase();
+        bit.exploitable = true;
+        targets.push_back(std::move(bit));
+    }
+    return targets;
+}
+
+AttemptOutcome
+HyperHammerAttack::attemptOnce(vm::VirtualMachine &current)
+{
+    AttemptOutcome outcome;
+    const base::SimTime start = host.clock().now();
+
+    const std::vector<VulnerableBit> targets = relocateTargets(current);
+    outcome.bitsTargeted = static_cast<unsigned>(targets.size());
+    if (targets.empty()) {
+        outcome.duration = host.clock().now() - start;
+        return outcome;
+    }
+
+    PageSteering steering(current, host.clock(), cfg.steering);
+    const uint64_t spray = cfg.sprayBytes
+        ? cfg.sprayBytes
+        : current.memorySize(); // everything that remains
+    const SteeringResult steered = steering.steer(targets, spray);
+    outcome.releasedSubBlocks = steered.releasedSubBlocks;
+    outcome.demotions = steered.demotions;
+
+    Exploiter exploiter(current, host.clock(), cfg.exploit);
+    exploiter.markPages(current.hugePageGpas());
+    exploiter.hammerTargets(targets);
+
+    const std::vector<GuestPhysAddr> changed =
+        exploiter.detectMappingChanges();
+    outcome.changedPages = changed.size();
+
+    for (GuestPhysAddr page : changed) {
+        if (!exploiter.looksLikeEptPage(page))
+            continue;
+        ++outcome.epteCandidates;
+        auto escalation = exploiter.validateAndEscalate(page);
+        if (!escalation)
+            continue;
+        // Prove arbitrary host access: read the hypervisor secret.
+        auto value = exploiter.readHost(*escalation, secretAddr);
+        if (value && *value == secret) {
+            outcome.success = true;
+            break;
+        }
+    }
+
+    outcome.duration = host.clock().now() - start;
+    return outcome;
+}
+
+AttackResult
+HyperHammerAttack::run()
+{
+    AttackResult result;
+    HH_ASSERT(!bits.empty()); // profilePhase() first
+
+    const base::SimTime run_start = host.clock().now();
+    for (unsigned attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
+        const base::SimTime attempt_start = host.clock().now();
+        if (!machine)
+            machine = host.createVm(vmCfg);
+        AttemptOutcome outcome = attemptOnce(*machine);
+        // An attempt's cost includes the VM (re)spawn, which dominates
+        // in practice (Table 3's ~4 min average).
+        outcome.duration = host.clock().now() - attempt_start;
+        ++result.attempts;
+        result.outcomes.push_back(outcome);
+        // Demotion is irreversible: the VM must respawn either way.
+        machine.reset();
+        if (outcome.success) {
+            result.success = true;
+            break;
+        }
+    }
+
+    // Includes VM respawn time, which dominates real attempts.
+    result.totalTime = host.clock().now() - run_start;
+    return result;
+}
+
+} // namespace hh::attack

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * End-to-end HyperHammer attack orchestration (Sections 4 and 5.3).
+ *
+ * The attack is probabilistic: each attempt profiles (or relocates a
+ * reusable profile), steers, hammers, and checks for escalation; on
+ * failure the hugepage demotions are irreversible, so the VM must be
+ * torn down and respawned for the next attempt. The orchestrator runs
+ * that loop, reproduces the paper's profiling-reuse oracle (a debug
+ * hypercall translating GPA to HPA, Section 5.3.2) and records the
+ * Table 3 statistics.
+ */
+
+#ifndef HYPERHAMMER_ATTACK_ORCHESTRATOR_H
+#define HYPERHAMMER_ATTACK_ORCHESTRATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "attack/exploit.h"
+#include "attack/page_steering.h"
+#include "attack/profiler.h"
+#include "attack/types.h"
+#include "sys/host_system.h"
+
+namespace hh::attack {
+
+/** Whole-attack tunables (defaults follow Section 5.3.2). */
+struct AttackConfig
+{
+    /** Vulnerable bits targeted per attempt (paper: 12). */
+    unsigned bitsPerAttempt = 12;
+    /**
+     * Bytes of hugepages sprayed per attempt; 0 = every remaining
+     * hugepage (the paper uses all memory not released).
+     */
+    uint64_t sprayBytes = 0;
+    /** Give up after this many attempts. */
+    unsigned maxAttempts = 1'000;
+    ProfilerConfig profiler;
+    SteeringConfig steering;
+    ExploitConfig exploit;
+};
+
+/** A profiled bit in host-physical terms (the reusable profile). */
+struct HostVulnBit
+{
+    HostPhysAddr wordHpa{0};
+    unsigned bitInWord = 0;
+    dram::FlipDirection direction = dram::FlipDirection::OneToZero;
+    bool stable = false;
+    std::vector<HostPhysAddr> aggressorHpas;
+};
+
+/** What happened in one attempt. */
+struct AttemptOutcome
+{
+    bool success = false;
+    unsigned bitsTargeted = 0;
+    uint64_t releasedSubBlocks = 0;
+    uint64_t demotions = 0;
+    uint64_t changedPages = 0;
+    uint64_t epteCandidates = 0;
+    base::SimTime duration = 0;
+};
+
+/** Aggregate result of an attack run (the Table 3 row). */
+struct AttackResult
+{
+    bool success = false;
+    unsigned attempts = 0;
+    base::SimTime totalTime = 0;
+    base::SimTime profilingTime = 0;
+    std::vector<AttemptOutcome> outcomes;
+
+    /** Mean virtual duration of one attempt, seconds. */
+    double avgAttemptSeconds() const;
+};
+
+/**
+ * Expected end-to-end time (Section 5.3.3): profiling each attempt
+ * until @p bits_needed bits are found, for an expected
+ * @p expected_attempts attempts.
+ *
+ * @param full_profile_time    time of a full profiling pass
+ * @param exploitable_found    exploitable bits that pass finds
+ */
+base::SimTime expectedEndToEndTime(base::SimTime full_profile_time,
+                                   uint64_t exploitable_found,
+                                   unsigned bits_needed,
+                                   unsigned expected_attempts);
+
+/**
+ * Runs the full attack loop against one host.
+ */
+class HyperHammerAttack
+{
+  public:
+    /**
+     * @param host             the victim host
+     * @param vm_config        how the attacker's VM is provisioned
+     * @param attacker_mapping the DRAM mapping the attacker assumes
+     *                         (recovered offline with DRAMDig)
+     * @param config           tunables
+     */
+    HyperHammerAttack(sys::HostSystem &host, vm::VmConfig vm_config,
+                      dram::AddressMapping attacker_mapping,
+                      AttackConfig config);
+
+    ~HyperHammerAttack();
+
+    /**
+     * Profile a freshly spawned VM and store the result in
+     * host-physical terms for reuse across respawns. Must run before
+     * run(). Returns the attacker-visible profile.
+     */
+    ProfileResult profilePhase();
+
+    /** Run attempts until escalation succeeds or maxAttempts. */
+    AttackResult run();
+
+    /**
+     * The hypervisor secret the attack tries to read: a host kernel
+     * page containing a magic value, planted at construction. Success
+     * means the attacker read it through its own address space.
+     */
+    HostPhysAddr secretAddress() const { return secretAddr; }
+    uint64_t secretValue() const { return secret; }
+
+    /** The reusable host-physical profile (after profilePhase()). */
+    const std::vector<HostVulnBit> &hostProfile() const { return bits; }
+
+  private:
+    sys::HostSystem &host;
+    vm::VmConfig vmCfg;
+    dram::AddressMapping mapping;
+    AttackConfig cfg;
+
+    std::vector<HostVulnBit> bits;
+    Pfn secretFrame = kInvalidPfn;
+    HostPhysAddr secretAddr{0};
+    uint64_t secret = 0;
+
+    /** VM kept alive between profilePhase() and the first attempt. */
+    std::unique_ptr<vm::VirtualMachine> machine;
+
+    /**
+     * The paper's oracle: relocate the host-physical profile into the
+     * current VM's guest address space via the debug hypercall.
+     */
+    std::vector<VulnerableBit>
+    relocateTargets(vm::VirtualMachine &machine) const;
+
+    /** One steering + hammer + detect + escalate attempt. */
+    AttemptOutcome attemptOnce(vm::VirtualMachine &machine);
+};
+
+} // namespace hh::attack
+
+#endif // HYPERHAMMER_ATTACK_ORCHESTRATOR_H

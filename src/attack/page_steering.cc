@@ -1,0 +1,140 @@
+#include "page_steering.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace hh::attack {
+
+namespace {
+
+/** Cost of one VFIO map ioctl plus vIOMMU emulation round trip. */
+constexpr base::SimTime kIovaMapCost = 10 * base::kMicrosecond;
+/** Cost of one virtio-mem unplug negotiation. */
+constexpr base::SimTime kUnplugCost = 2 * base::kMillisecond;
+/** Exec fault + hugepage demotion handling in the hypervisor. */
+constexpr base::SimTime kDemotionFaultCost = 100 * base::kMicrosecond;
+
+} // namespace
+
+PageSteering::PageSteering(vm::VirtualMachine &machine,
+                           base::SimClock &clock, SteeringConfig config)
+    : machine(machine), clock(clock), cfg(config)
+{}
+
+uint64_t
+PageSteering::exhaustNoisePages(
+    const std::function<void(uint64_t)> &sample, uint32_t sample_every)
+{
+    uint64_t created = 0;
+    IoVirtAddr iova = cfg.iovaBase;
+    const uint32_t group_count = machine.iommuGroupCount();
+    if (group_count == 0)
+        return 0;
+
+    for (uint32_t group = 0; group < group_count; ++group) {
+        while (created < cfg.exhaustMappings) {
+            const base::Status status = machine.iommuMap(
+                group, iova, cfg.donorPage);
+            clock.advance(kIovaMapCost);
+            if (status.error() == base::ErrorCode::LimitExceeded)
+                break; // next IOMMU group, if any
+            if (!status.ok())
+                return created;
+            ++created;
+            iova += cfg.iovaStride;
+            if (sample && created % sample_every == 0)
+                sample(created);
+        }
+        if (created >= cfg.exhaustMappings)
+            break;
+    }
+    return created;
+}
+
+uint64_t
+PageSteering::releaseVulnerable(const std::vector<VulnerableBit> &targets,
+                                SteeringResult &result)
+{
+    auto &driver = machine.memDriver();
+    driver.setSuppressAutoPlug(true);
+
+    std::unordered_set<uint64_t> released;
+    for (const VulnerableBit &bit : targets) {
+        const GuestPhysAddr hp = bit.victimHugePage;
+        if (released.count(hp.value()))
+            continue;
+        const base::Status status = driver.unplugSpecific(hp);
+        clock.advance(kUnplugCost);
+        if (!status.ok()) {
+            base::warn("page steering: unplug of GPA %#llx failed: %s",
+                       static_cast<unsigned long long>(hp.value()),
+                       base::errorName(status.error()));
+            continue;
+        }
+        released.insert(hp.value());
+        result.releasedHugePages.push_back(hp);
+    }
+    result.releasedSubBlocks += released.size();
+    return released.size();
+}
+
+void
+PageSteering::writeIdlingFunction(GuestPhysAddr huge_page)
+{
+    // Listing 1: push %rbp; mov %rsp,%rbp; nop...; pop %rbp; ret.
+    // 55 48 89 e5 90 90 90 90 ... 90 5d c3
+    constexpr uint64_t kPrologueNops = 0x90909090'e5894855ull;
+    constexpr uint64_t kNops = 0x90909090'90909090ull;
+    constexpr uint64_t kNopsEpilogue = 0xc35d9090'90909090ull;
+    (void)machine.write64(huge_page, kPrologueNops);
+    (void)machine.write64(huge_page + 8, kNops);
+    (void)machine.write64(huge_page + 16, kNopsEpilogue);
+}
+
+uint64_t
+PageSteering::sprayEptes(uint64_t budget_bytes,
+                         const std::unordered_set<uint64_t> &excluded)
+{
+    uint64_t demotions = 0;
+    uint64_t spent = 0;
+    for (GuestPhysAddr hp : machine.hugePageGpas()) {
+        if (spent + kHugePageSize > budget_bytes)
+            break;
+        if (excluded.count(hp.value()))
+            continue;
+        writeIdlingFunction(hp);
+        const kvm::AccessResult result = machine.execute(hp);
+        clock.advance(kDemotionFaultCost);
+        spent += kHugePageSize;
+        if (result.status.ok() && result.demotedHugePage)
+            ++demotions;
+    }
+    return demotions;
+}
+
+SteeringResult
+PageSteering::steer(const std::vector<VulnerableBit> &targets,
+                    uint64_t spray_bytes)
+{
+    SteeringResult result;
+    const base::SimTime start = clock.now();
+
+    result.iovaMappings = exhaustNoisePages();
+    releaseVulnerable(targets, result);
+
+    // Never demote the hugepages we still need as aggressors? Not
+    // necessary: demotion changes EPT granularity, not page placement,
+    // so aggressor rows stay hammerable. Released hugepages are gone
+    // from the address space and skip themselves (execute() faults).
+    std::unordered_set<uint64_t> excluded;
+    for (const GuestPhysAddr &hp : result.releasedHugePages)
+        excluded.insert(hp.value());
+
+    result.demotions = sprayEptes(spray_bytes, excluded);
+    result.sprayedBytes = result.demotions * kHugePageSize;
+    result.elapsed = clock.now() - start;
+    return result;
+}
+
+} // namespace hh::attack

@@ -1,0 +1,80 @@
+#include "log.h"
+
+#include <cstdarg>
+
+namespace hh::base {
+
+Logger &
+Logger::get()
+{
+    static Logger instance;
+    return instance;
+}
+
+void
+Logger::vlog(LogLevel level, const char *fmt, va_list ap)
+{
+    if (level >= LogLevel::Warn)
+        ++warnings;
+    if (level < threshold)
+        return;
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Debug: prefix = "debug: "; break;
+      case LogLevel::Info:  prefix = "info: ";  break;
+      case LogLevel::Warn:  prefix = "warn: ";  break;
+      case LogLevel::Error: prefix = "error: "; break;
+    }
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(level, fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Info, fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Warn, fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Error, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Logger::get().vlog(LogLevel::Error, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace hh::base

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facility, in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * unusable configurations, warn()/inform() for user-facing status.
+ */
+
+#ifndef HYPERHAMMER_BASE_LOG_H
+#define HYPERHAMMER_BASE_LOG_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hh::base {
+
+/** Log verbosity levels, in increasing severity. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Global logging configuration. Tests lower the threshold to silence
+ * expected warnings; tools raise verbosity with --verbose.
+ */
+class Logger
+{
+  public:
+    /** Singleton accessor. */
+    static Logger &get();
+
+    /** Only messages at >= this level are emitted. */
+    void setThreshold(LogLevel level) { threshold = level; }
+    LogLevel getThreshold() const { return threshold; }
+
+    /** printf-style log emission. */
+    void vlog(LogLevel level, const char *fmt, va_list ap);
+
+    /** Number of messages emitted at Warn or above (for tests). */
+    uint64_t warningCount() const { return warnings; }
+
+  private:
+    LogLevel threshold = LogLevel::Info;
+    uint64_t warnings = 0;
+};
+
+/** Emit a message at the given level. */
+void logf(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something might be wrong but simulation can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable user/configuration error: print and exit(1).
+ * Use when the simulation cannot continue due to the caller's input.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation: print and abort(). Use only for
+ * conditions that indicate a simulator bug, never for bad input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless @p cond holds. */
+#define HH_ASSERT(cond)                                                    \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::hh::base::panic("assertion failed: %s at %s:%d", #cond,      \
+                              __FILE__, __LINE__);                         \
+    } while (0)
+
+} // namespace hh::base
+
+#endif // HYPERHAMMER_BASE_LOG_H

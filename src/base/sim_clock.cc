@@ -1,0 +1,30 @@
+#include "sim_clock.h"
+
+#include <cstdio>
+
+namespace hh::base {
+
+std::string
+SimClock::format(SimTime t)
+{
+    char buf[64];
+    const double ns = static_cast<double>(t);
+    if (t >= kDay)
+        std::snprintf(buf, sizeof(buf), "%.1f d", ns / kDay);
+    else if (t >= kHour)
+        std::snprintf(buf, sizeof(buf), "%.1f h", ns / kHour);
+    else if (t >= kMinute)
+        std::snprintf(buf, sizeof(buf), "%.1f min", ns / kMinute);
+    else if (t >= kSecond)
+        std::snprintf(buf, sizeof(buf), "%.2f s", ns / kSecond);
+    else if (t >= kMillisecond)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / kMillisecond);
+    else if (t >= kMicrosecond)
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / kMicrosecond);
+    else
+        std::snprintf(buf, sizeof(buf), "%llu ns",
+                      static_cast<unsigned long long>(t));
+    return buf;
+}
+
+} // namespace hh::base

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Virtual simulation clock.
+ *
+ * The paper reports wall-clock costs that are dominated by DRAM access
+ * time: a profiling pass over 12 GB takes days, an attack attempt minutes
+ * (Tables 1 and 3). The simulator cannot (and should not) spend that wall
+ * time, so every component charges its modeled latency to a shared
+ * SimClock, and all reported "times" are virtual. The defaults are
+ * calibrated so that the paper-scale experiments land in the paper's
+ * ballpark (see bench/bench_table1_profiling.cc).
+ */
+
+#ifndef HYPERHAMMER_BASE_SIM_CLOCK_H
+#define HYPERHAMMER_BASE_SIM_CLOCK_H
+
+#include <cstdint>
+#include <string>
+
+namespace hh::base {
+
+/** Virtual time in nanoseconds. */
+using SimTime = uint64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/**
+ * A monotonically advancing virtual clock. Components hold a reference to
+ * the system clock and call advance() with the latency of each modeled
+ * operation.
+ */
+class SimClock
+{
+  public:
+    /** Current virtual time in nanoseconds since simulation start. */
+    SimTime now() const { return currentTime; }
+
+    /** Charge @p delta nanoseconds of virtual time. */
+    void advance(SimTime delta) { currentTime += delta; }
+
+    /** Reset to time zero (used between benchmark repetitions). */
+    void reset() { currentTime = 0; }
+
+    /** Seconds as a double, for reporting. */
+    double seconds() const { return toSeconds(currentTime); }
+
+    /** Convert a SimTime to seconds. */
+    static double
+    toSeconds(SimTime t)
+    {
+        return static_cast<double>(t) / static_cast<double>(kSecond);
+    }
+
+    /** Human-readable rendering, e.g. "72.0 h" or "4.0 min". */
+    static std::string format(SimTime t);
+
+  private:
+    SimTime currentTime = 0;
+};
+
+/** RAII helper measuring the virtual duration of a scope. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(const SimClock &clock, SimTime &out)
+        : clock(clock), out(out), start(clock.now())
+    {}
+
+    ~ScopedTimer() { out = clock.now() - start; }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    const SimClock &clock;
+    SimTime &out;
+    SimTime start;
+};
+
+} // namespace hh::base
+
+#endif // HYPERHAMMER_BASE_SIM_CLOCK_H

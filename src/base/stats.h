@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statistics accumulators used by the evaluation harness: running
+ * mean/stddev/min/max, fixed-bucket histograms, and time-series samplers
+ * for the Figure 3 style plots.
+ */
+
+#ifndef HYPERHAMMER_BASE_STATS_H
+#define HYPERHAMMER_BASE_STATS_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hh::base {
+
+/**
+ * Welford running accumulator: numerically stable mean and variance with
+ * O(1) state.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - meanValue;
+        meanValue += delta / static_cast<double>(n);
+        m2 += delta * (x - meanValue);
+        if (x < minValue || n == 1)
+            minValue = x;
+        if (x > maxValue || n == 1)
+            maxValue = x;
+        total += x;
+    }
+
+    /** Number of samples. */
+    uint64_t count() const { return n; }
+    /** Sum of all samples. */
+    double sum() const { return total; }
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return meanValue; }
+    /** Population variance; 0 when fewer than two samples. */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    }
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+    /** Minimum sample; 0 when empty. */
+    double min() const { return n ? minValue : 0.0; }
+    /** Maximum sample; 0 when empty. */
+    double max() const { return n ? maxValue : 0.0; }
+
+    /** Reset to empty. */
+    void
+    reset()
+    {
+        n = 0;
+        meanValue = m2 = total = minValue = maxValue = 0.0;
+    }
+
+  private:
+    uint64_t n = 0;
+    double meanValue = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+/**
+ * Fixed-width-bucket histogram over [lo, hi); samples outside the range
+ * land in saturating under/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets)
+        : lo(lo), hi(hi), counts(buckets, 0)
+    {}
+
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n;
+        if (x < lo) {
+            ++underflow;
+        } else if (x >= hi) {
+            ++overflow;
+        } else {
+            const double frac = (x - lo) / (hi - lo);
+            const auto idx = static_cast<size_t>(
+                frac * static_cast<double>(counts.size()));
+            ++counts[idx < counts.size() ? idx : counts.size() - 1];
+        }
+    }
+
+    uint64_t count() const { return n; }
+    uint64_t bucket(size_t i) const { return counts[i]; }
+    size_t buckets() const { return counts.size(); }
+    uint64_t underflowCount() const { return underflow; }
+    uint64_t overflowCount() const { return overflow; }
+
+    /** Lower edge of bucket @p i. */
+    double
+    bucketLow(size_t i) const
+    {
+        return lo + (hi - lo) * static_cast<double>(i)
+            / static_cast<double>(counts.size());
+    }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    uint64_t n = 0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+};
+
+/**
+ * A (x, y) time series, e.g. "noise pages vs. number of IOVA mappings"
+ * for Figure 3. Kept deliberately simple: append-only, rendered by the
+ * report code in hh::analysis.
+ */
+class Series
+{
+  public:
+    struct Point
+    {
+        double x;
+        double y;
+    };
+
+    explicit Series(std::string name) : seriesName(std::move(name)) {}
+
+    void add(double x, double y) { points.push_back({x, y}); }
+
+    const std::string &name() const { return seriesName; }
+    const std::vector<Point> &data() const { return points; }
+    bool empty() const { return points.empty(); }
+
+  private:
+    std::string seriesName;
+    std::vector<Point> points;
+};
+
+} // namespace hh::base
+
+#endif // HYPERHAMMER_BASE_STATS_H

@@ -1,0 +1,22 @@
+#include "status.h"
+
+namespace hh::base {
+
+const char *
+errorName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:              return "Ok";
+      case ErrorCode::NoMemory:        return "NoMemory";
+      case ErrorCode::InvalidArgument: return "InvalidArgument";
+      case ErrorCode::NotFound:        return "NotFound";
+      case ErrorCode::Exists:          return "Exists";
+      case ErrorCode::Busy:            return "Busy";
+      case ErrorCode::LimitExceeded:   return "LimitExceeded";
+      case ErrorCode::Denied:          return "Denied";
+      case ErrorCode::Fault:           return "Fault";
+    }
+    return "Unknown";
+}
+
+} // namespace hh::base

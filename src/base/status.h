@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight status / expected-value types for recoverable errors.
+ *
+ * Most of the stack models an operating system, where failure (ENOMEM,
+ * EBUSY, a NACKed virtio request) is a normal outcome that callers must
+ * branch on, not an exception. Expected<T> carries either a value or an
+ * ErrorCode; Status is Expected<Unit>.
+ */
+
+#ifndef HYPERHAMMER_BASE_STATUS_H
+#define HYPERHAMMER_BASE_STATUS_H
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+
+#include "log.h"
+
+namespace hh::base {
+
+/** Error codes shared across the simulated kernel/hypervisor stack. */
+enum class ErrorCode : uint8_t
+{
+    Ok = 0,
+    NoMemory,        ///< allocation failed (ENOMEM)
+    InvalidArgument, ///< malformed request (EINVAL)
+    NotFound,        ///< no such mapping / page / block (ENOENT)
+    Exists,          ///< mapping already present (EEXIST)
+    Busy,            ///< resource busy / pinned (EBUSY)
+    LimitExceeded,   ///< quota exhausted, e.g. IOMMU mapping limit
+    Denied,          ///< request rejected by policy (the quarantine NACK)
+    Fault,           ///< unhandled guest fault / machine check
+};
+
+/** Human-readable name of an error code. */
+const char *errorName(ErrorCode code);
+
+/**
+ * Value-or-error result type. Dereferencing an error panics, so callers
+ * either check ok() or use valueOr().
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : payload(std::move(value)) {}
+    Expected(ErrorCode code) : payload(code)
+    {
+        HH_ASSERT(code != ErrorCode::Ok);
+    }
+
+    /** True when a value is present. */
+    bool ok() const { return std::holds_alternative<T>(payload); }
+    explicit operator bool() const { return ok(); }
+
+    /** Error code; Ok when a value is present. */
+    ErrorCode
+    error() const
+    {
+        return ok() ? ErrorCode::Ok : std::get<ErrorCode>(payload);
+    }
+
+    /** Access the value; panics when holding an error. */
+    T &
+    value()
+    {
+        HH_ASSERT(ok());
+        return std::get<T>(payload);
+    }
+
+    const T &
+    value() const
+    {
+        HH_ASSERT(ok());
+        return std::get<T>(payload);
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** Value when present, @p fallback otherwise. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(payload) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, ErrorCode> payload;
+};
+
+/** Empty payload for Status. */
+struct Unit {};
+
+/** Success/failure result with no payload. */
+class Status
+{
+  public:
+    Status() : code(ErrorCode::Ok) {}
+    Status(ErrorCode code) : code(code) {}
+
+    static Status success() { return Status(); }
+
+    bool ok() const { return code == ErrorCode::Ok; }
+    explicit operator bool() const { return ok(); }
+    ErrorCode error() const { return code; }
+
+    bool operator==(const Status &) const = default;
+
+  private:
+    ErrorCode code;
+};
+
+} // namespace hh::base
+
+#endif // HYPERHAMMER_BASE_STATUS_H

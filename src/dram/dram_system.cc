@@ -1,0 +1,237 @@
+#include "dram_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/bitops.h"
+#include "base/log.h"
+
+namespace hh::dram {
+
+DramSystem::DramSystem(DramConfig config, base::SimClock &clock)
+    : cfg(std::move(config)),
+      clock(clock),
+      data(cfg.totalBytes),
+      faults(cfg.fault, base::mix64(cfg.seed, 0xd1a),
+             cfg.mapping.rowBytesPerBank()),
+      trr(cfg.trr),
+      ecc(cfg.ecc),
+      rng(base::mix64(cfg.seed, 0x5eed)),
+      openRows(cfg.mapping.bankCount(), kNoOpenRow)
+{
+    HH_ASSERT(base::isPowerOfTwo(cfg.totalBytes));
+    HH_ASSERT(cfg.totalBytes >= kHugePageSize);
+}
+
+uint64_t
+DramSystem::read64(HostPhysAddr addr)
+{
+    clock.advance(cfg.timing.rowHitLatency);
+    return data.read64(addr);
+}
+
+void
+DramSystem::write64(HostPhysAddr addr, uint64_t value)
+{
+    clock.advance(cfg.timing.rowHitLatency);
+    data.write64(addr, value);
+}
+
+void
+DramSystem::fillPage(Pfn pfn, uint64_t pattern)
+{
+    clock.advance(cfg.timing.pageFillCost);
+    data.fillPage(pfn, pattern);
+}
+
+base::SimTime
+DramSystem::timedAccess(HostPhysAddr addr)
+{
+    HH_ASSERT(data.contains(addr));
+    const BankId bank = cfg.mapping.bankOf(addr);
+    const RowId row = cfg.mapping.rowOf(addr);
+
+    base::SimTime latency;
+    if (openRows[bank] == row)
+        latency = cfg.timing.rowHitLatency;
+    else if (openRows[bank] == kNoOpenRow)
+        latency = cfg.timing.rowMissLatency;
+    else
+        latency = cfg.timing.rowConflictLatency;
+    openRows[bank] = row;
+    clock.advance(latency);
+    return latency;
+}
+
+HostPhysAddr
+DramSystem::cellAddress(BankId bank, RowId row, const WeakCell &cell) const
+{
+    const AddressMapping &map = cfg.mapping;
+    const BankId cls = bank ^ map.rowClass(row);
+    const auto &offsets = map.classOffsets(cls);
+    const uint64_t granule = 1ull << map.interleaveShift();
+    const uint64_t granule_idx = cell.byteInRow / granule;
+    const uint64_t byte_in_granule = cell.byteInRow % granule;
+    HH_ASSERT(granule_idx < offsets.size());
+    const uint64_t addr = (static_cast<uint64_t>(row) << map.rowLoBit())
+        | (static_cast<uint64_t>(offsets[granule_idx])
+           << map.interleaveShift())
+        | byte_in_granule;
+    return HostPhysAddr(addr);
+}
+
+void
+DramSystem::evaluateVictimRow(BankId bank, RowId row, uint64_t disturbance,
+                              unsigned windows,
+                              std::vector<FlipEvent> &candidates)
+{
+    if (!faults.rowIsWeak(bank, row))
+        return;
+    for (const WeakCell &cell : faults.weakCellsInRow(bank, row)) {
+        if (disturbance < cell.threshold)
+            continue;
+        // Each refresh window is an independent chance for the cell.
+        const double p_once = cell.flipProbability;
+        double p_total = p_once;
+        if (windows > 1 && p_once < 1.0) {
+            p_total = 1.0
+                - std::pow(1.0 - p_once, static_cast<double>(windows));
+        }
+        if (!rng.chance(p_total))
+            continue;
+
+        const HostPhysAddr cell_addr = cellAddress(bank, row, cell);
+        if (!data.contains(cell_addr))
+            continue;
+        const HostPhysAddr word_addr(base::alignDown(cell_addr.value(), 8));
+        const unsigned bit_in_word = cell.bitInWord();
+        const uint64_t word = data.read64(word_addr);
+        const bool stored_one = base::bit(word, bit_in_word) != 0;
+        // Unidirectional: the cell only flips if the stored value is
+        // the one it discharges from (1->0) or charges to (0->1).
+        if (cell.direction == FlipDirection::OneToZero && !stored_one)
+            continue;
+        if (cell.direction == FlipDirection::ZeroToOne && stored_one)
+            continue;
+        candidates.push_back(
+            {word_addr, bit_in_word, cell.direction, bank, row});
+    }
+}
+
+std::vector<FlipEvent>
+DramSystem::press(const std::vector<HostPhysAddr> &aggressors,
+                  uint64_t rounds,
+                  base::SimTime open_time_per_activation)
+{
+    const double amplification = 1.0
+        + static_cast<double>(open_time_per_activation)
+            / static_cast<double>(cfg.timing.rowPressHalfLife);
+    return hammerImpl(aggressors, rounds, amplification,
+                      open_time_per_activation);
+}
+
+std::vector<FlipEvent>
+DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
+                       uint64_t rounds, double amplification,
+                       base::SimTime extra_time_per_activation)
+{
+    std::vector<FlipEvent> applied;
+    if (aggressors.empty() || rounds == 0)
+        return applied;
+
+    // Deduplicate aggressors by (bank, row).
+    std::map<std::pair<BankId, RowId>, unsigned> agg_rows;
+    for (HostPhysAddr addr : aggressors) {
+        HH_ASSERT(data.contains(addr));
+        agg_rows[{cfg.mapping.bankOf(addr), cfg.mapping.rowOf(addr)}] = 0;
+    }
+    // Count aggressors per bank (input to the TRR sampler).
+    std::map<BankId, unsigned> per_bank;
+    for (const auto &[key, unused] : agg_rows)
+        ++per_bank[key.first];
+    for (auto &[key, bank_count] : agg_rows)
+        bank_count = per_bank[key.first];
+
+    // Charge virtual time for every activation (RowPress keeps the
+    // row open longer per activation).
+    const base::SimTime per_activation =
+        cfg.timing.rowCycle + extra_time_per_activation;
+    const uint64_t activations = rounds * agg_rows.size();
+    clock.advance(activations * per_activation);
+
+    // A refresh window fits only so many activations of this pattern;
+    // disturbance per window is capped, and longer bursts span several
+    // windows (each an independent chance for unstable cells).
+    const uint64_t window_cap = std::max<uint64_t>(
+        1, cfg.timing.refreshWindow
+               / (per_activation * agg_rows.size()));
+    const uint64_t disturbance = static_cast<uint64_t>(
+        static_cast<double>(std::min(rounds, window_cap))
+        * amplification);
+    const unsigned windows = static_cast<unsigned>(std::min<uint64_t>(
+        64, (rounds + window_cap - 1) / window_cap));
+
+    // Accumulate disturbance on neighbouring victim rows.
+    const RowId max_row =
+        std::min<uint64_t>((cfg.totalBytes - 1) >> cfg.mapping.rowLoBit(),
+                           (1ull << (cfg.mapping.rowHiBit()
+                                     - cfg.mapping.rowLoBit() + 1)) - 1);
+    std::map<std::pair<BankId, RowId>, uint64_t> victims;
+    for (const auto &[key, bank_count] : agg_rows) {
+        const auto [bank, row] = key;
+        if (trr.suppresses(bank_count, rng.uniform())) {
+            ++trrSuppressed;
+            continue;
+        }
+        auto add = [&](int64_t delta, double factor) {
+            const int64_t v = static_cast<int64_t>(row) + delta;
+            if (v < 0 || v > static_cast<int64_t>(max_row))
+                return;
+            const auto amount =
+                static_cast<uint64_t>(disturbance * factor);
+            if (amount)
+                victims[{bank, static_cast<RowId>(v)}] += amount;
+        };
+        add(-1, 1.0);
+        add(+1, 1.0);
+        if (cfg.fault.distanceTwoFactor > 0.0) {
+            add(-2, cfg.fault.distanceTwoFactor);
+            add(+2, cfg.fault.distanceTwoFactor);
+        }
+    }
+
+    // Activated rows are constantly refreshed; they cannot be victims.
+    std::vector<FlipEvent> candidates;
+    for (const auto &[key, dist] : victims) {
+        if (agg_rows.count(key))
+            continue;
+        evaluateVictimRow(key.first, key.second, dist, windows,
+                          candidates);
+    }
+
+    // ECC: group candidate flips per 64-bit word.
+    std::map<uint64_t, unsigned> flips_per_word;
+    for (const FlipEvent &event : candidates)
+        ++flips_per_word[event.wordAddr.value()];
+
+    for (const FlipEvent &event : candidates) {
+        if (!ecc.flipsVisible(flips_per_word[event.wordAddr.value()])) {
+            ++eccCorrected;
+            continue;
+        }
+        data.flipBit(event.wordAddr, event.bitInWord);
+        ++flipCount;
+        applied.push_back(event);
+    }
+    return applied;
+}
+
+std::vector<uint16_t>
+DramSystem::scanPage(Pfn pfn, uint64_t expected_fill)
+{
+    clock.advance(cfg.timing.pageScanCost);
+    return data.mismatchedWords(pfn, expected_fill);
+}
+
+} // namespace hh::dram

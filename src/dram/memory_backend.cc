@@ -1,0 +1,132 @@
+#include "memory_backend.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace hh::dram {
+
+namespace {
+
+constexpr uint16_t
+wordIndex(HostPhysAddr addr)
+{
+    return static_cast<uint16_t>((addr.value() & (kPageSize - 1)) / 8);
+}
+
+struct IdxLess
+{
+    bool
+    operator()(const std::pair<uint16_t, uint64_t> &entry,
+               uint16_t idx) const
+    {
+        return entry.first < idx;
+    }
+};
+
+} // namespace
+
+std::vector<std::pair<uint16_t, uint64_t>>::const_iterator
+MemoryBackend::PageData::find(uint16_t idx) const
+{
+    auto it = std::lower_bound(overrides.begin(), overrides.end(), idx,
+                               IdxLess{});
+    if (it != overrides.end() && it->first == idx)
+        return it;
+    return overrides.end();
+}
+
+uint64_t
+MemoryBackend::read64(HostPhysAddr addr) const
+{
+    HH_ASSERT(contains(addr));
+    const auto it = pages.find(addr.pfn());
+    if (it == pages.end())
+        return 0;
+    const PageData &page = it->second;
+    const auto ov = page.find(wordIndex(addr));
+    return ov != page.overrides.end() ? ov->second : page.fill;
+}
+
+void
+MemoryBackend::write64(HostPhysAddr addr, uint64_t value)
+{
+    HH_ASSERT(contains(addr));
+    PageData &page = pages[addr.pfn()];
+    const uint16_t idx = wordIndex(addr);
+    auto it = std::lower_bound(page.overrides.begin(),
+                               page.overrides.end(), idx, IdxLess{});
+    const bool present =
+        it != page.overrides.end() && it->first == idx;
+    if (value == page.fill) {
+        if (present)
+            page.overrides.erase(it);
+    } else if (present) {
+        it->second = value;
+    } else {
+        page.overrides.insert(it, {idx, value});
+    }
+}
+
+void
+MemoryBackend::fillPage(Pfn pfn, uint64_t pattern)
+{
+    HH_ASSERT(pfn * kPageSize < totalBytes);
+    if (pattern == 0) {
+        // Identical to untouched memory; reclaim the metadata.
+        pages.erase(pfn);
+        return;
+    }
+    PageData &page = pages[pfn];
+    page.fill = pattern;
+    page.overrides.clear();
+    page.overrides.shrink_to_fit();
+}
+
+uint64_t
+MemoryBackend::flipBit(HostPhysAddr addr, unsigned bit_in_word)
+{
+    HH_ASSERT(bit_in_word < 64);
+    const uint64_t value = read64(addr) ^ (1ull << bit_in_word);
+    write64(addr, value);
+    return value;
+}
+
+std::vector<uint16_t>
+MemoryBackend::mismatchedWords(Pfn pfn, uint64_t expected_fill) const
+{
+    std::vector<uint16_t> mismatches;
+    const auto it = pages.find(pfn);
+    if (it == pages.end()) {
+        // Untouched memory reads as zero everywhere.
+        if (expected_fill != 0) {
+            mismatches.resize(kPageSize / 8);
+            for (uint16_t i = 0; i < kPageSize / 8; ++i)
+                mismatches[i] = i;
+        }
+        return mismatches;
+    }
+    const PageData &page = it->second;
+    if (page.fill == expected_fill) {
+        // Only overridden words can mismatch.
+        for (const auto &[idx, value] : page.overrides) {
+            if (value != expected_fill)
+                mismatches.push_back(idx);
+        }
+    } else {
+        // Every word mismatches unless overridden back to expected.
+        auto ov = page.overrides.begin();
+        for (uint16_t i = 0; i < kPageSize / 8; ++i) {
+            while (ov != page.overrides.end() && ov->first < i)
+                ++ov;
+            const uint64_t value =
+                (ov != page.overrides.end() && ov->first == i)
+                    ? ov->second : page.fill;
+            if (value != expected_fill)
+                mismatches.push_back(i);
+        }
+    }
+    return mismatches;
+}
+
+} // namespace hh::dram

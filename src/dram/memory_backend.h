@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Sparse physical-memory data store.
+ *
+ * Simulating multi-gigabyte hosts must not cost multi-gigabyte buffers.
+ * The attack only cares about a few content classes: whole pages filled
+ * with a hammer pattern, pages carrying an 8-byte magic marker, and EPT /
+ * IOPT pages with real 64-bit entries. The backend therefore stores each
+ * touched page as a uniform 64-bit fill value plus a sparse word-override
+ * map, which makes "fill 12 GB with 0xff" an O(pages) metadata operation
+ * and keeps page-table pages exact.
+ */
+
+#ifndef HYPERHAMMER_DRAM_MEMORY_BACKEND_H
+#define HYPERHAMMER_DRAM_MEMORY_BACKEND_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/types.h"
+
+namespace hh::dram {
+
+/**
+ * Word-granular sparse store over the host physical address space.
+ * Untouched memory reads as zero.
+ */
+class MemoryBackend
+{
+  public:
+    explicit MemoryBackend(uint64_t total_bytes) : totalBytes(total_bytes)
+    {}
+
+    /** Size of the backed physical address space. */
+    uint64_t size() const { return totalBytes; }
+
+    /** True when @p addr lies inside the address space. */
+    bool
+    contains(HostPhysAddr addr) const
+    {
+        return addr.value() < totalBytes;
+    }
+
+    /** Read the aligned 64-bit word containing @p addr. */
+    uint64_t read64(HostPhysAddr addr) const;
+
+    /** Write the aligned 64-bit word containing @p addr. */
+    void write64(HostPhysAddr addr, uint64_t value);
+
+    /** Fill an entire 4 KB frame with a repeated 64-bit pattern. */
+    void fillPage(Pfn pfn, uint64_t pattern);
+
+    /** Flip one bit of the word containing @p addr; returns new value. */
+    uint64_t flipBit(HostPhysAddr addr, unsigned bit_in_word);
+
+    /**
+     * Word indices (0..511) of a frame whose content differs from an
+     * expected uniform fill. Costs O(overrides) rather than O(page):
+     * the common case -- an untouched filled page -- is a constant-time
+     * "no mismatch".
+     */
+    std::vector<uint16_t> mismatchedWords(Pfn pfn,
+                                          uint64_t expected_fill) const;
+
+    /**
+     * Number of frames carrying any data (fill or overrides); used by
+     * capacity tests.
+     */
+    size_t touchedPages() const { return pages.size(); }
+
+    /** Drop all contents (reads revert to zero). */
+    void clear() { pages.clear(); }
+
+    /** Drop the contents of one frame (reads revert to zero). */
+    void clearPage(Pfn pfn) { pages.erase(pfn); }
+
+  private:
+    struct PageData
+    {
+        /** Value of every word not present in overrides. */
+        uint64_t fill = 0;
+        /**
+         * Word-index (0..511) -> value exceptions, kept sorted. A
+         * vector beats a hash map here: pages typically carry zero or
+         * a handful of overrides, and multi-gigabyte fills must stay
+         * at ~tens of bytes per page.
+         */
+        std::vector<std::pair<uint16_t, uint64_t>> overrides;
+
+        /** Iterator to the override for @p idx, or end(). */
+        std::vector<std::pair<uint16_t, uint64_t>>::const_iterator
+        find(uint16_t idx) const;
+    };
+
+    uint64_t totalBytes;
+    std::unordered_map<Pfn, PageData> pages;
+};
+
+} // namespace hh::dram
+
+#endif // HYPERHAMMER_DRAM_MEMORY_BACKEND_H

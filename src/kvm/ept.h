@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Extended Page Table entry format (Intel SDM Vol. 3C, Section 2.2 of
+ * the paper).
+ *
+ * An EPTE is 64 bits: bits 0..2 are the read/write/execute permissions,
+ * bits 3..5 the memory type (leaves only), bit 7 marks a large (2 MB)
+ * leaf at the PD level, and bits 12..(MAXPHYADDR-1) hold the host
+ * physical frame number. Each EPT table page holds 512 entries.
+ *
+ * EPT pages are stored *in simulated DRAM*: the MMU reads and writes
+ * entries through the DramSystem, so a Rowhammer flip in an EPT page
+ * changes real translations -- exactly the paper's attack surface.
+ */
+
+#ifndef HYPERHAMMER_KVM_EPT_H
+#define HYPERHAMMER_KVM_EPT_H
+
+#include <cstdint>
+
+#include "base/bitops.h"
+#include "base/types.h"
+
+namespace hh::kvm {
+
+/** Permission/format bits of an EPT entry. */
+enum EptBits : uint64_t
+{
+    kEptRead = 1ull << 0,
+    kEptWrite = 1ull << 1,
+    kEptExec = 1ull << 2,
+    kEptLargePage = 1ull << 7,
+    kEptAccessed = 1ull << 8,
+    kEptDirty = 1ull << 9,
+};
+
+/** Memory type field (bits 3..5) for leaf entries: write-back. */
+constexpr uint64_t kEptMemTypeWb = 6ull << 3;
+
+/** First PFN bit within an EPTE. */
+constexpr unsigned kEpteFrameLoBit = 12;
+/** Last PFN bit within an EPTE (MAXPHYADDR = 48 modeled). */
+constexpr unsigned kEpteFrameHiBit = 47;
+
+/** Number of EPT levels walked (4-level mode, Section 2.2). */
+constexpr unsigned kEptLevels = 4;
+
+/**
+ * Value-type wrapper around one 64-bit EPT entry.
+ */
+class EptEntry
+{
+  public:
+    constexpr EptEntry() = default;
+    constexpr explicit EptEntry(uint64_t raw) : bits(raw) {}
+
+    /** Non-leaf entry pointing at the next-level table. */
+    static constexpr EptEntry
+    table(Pfn next_level)
+    {
+        return EptEntry((next_level << kEpteFrameLoBit) | kEptRead
+                        | kEptWrite | kEptExec);
+    }
+
+    /** 4 KB leaf mapping. */
+    static constexpr EptEntry
+    leaf4k(Pfn frame, bool execute)
+    {
+        return EptEntry((frame << kEpteFrameLoBit) | kEptMemTypeWb
+                        | kEptRead | kEptWrite
+                        | (execute ? uint64_t{kEptExec} : 0ull));
+    }
+
+    /** 2 MB leaf mapping (PD level, bit 7 set). */
+    static constexpr EptEntry
+    leaf2m(Pfn frame, bool execute)
+    {
+        return EptEntry((frame << kEpteFrameLoBit) | kEptLargePage
+                        | kEptMemTypeWb | kEptRead | kEptWrite
+                        | (execute ? uint64_t{kEptExec} : 0ull));
+    }
+
+    constexpr uint64_t raw() const { return bits; }
+
+    /** Present = any of R/W/X set (Intel: not-present if bits 2:0==0). */
+    constexpr bool present() const { return (bits & 7ull) != 0; }
+
+    constexpr bool readable() const { return bits & kEptRead; }
+    constexpr bool writable() const { return bits & kEptWrite; }
+    constexpr bool executable() const { return bits & kEptExec; }
+
+    /** Large-page bit; only meaningful at the PD level. */
+    constexpr bool largePage() const { return bits & kEptLargePage; }
+
+    /** Referenced host frame number. */
+    constexpr Pfn
+    frame() const
+    {
+        return base::bits(bits, kEpteFrameHiBit, kEpteFrameLoBit);
+    }
+
+    /** Entry with the execute permission changed. */
+    constexpr EptEntry
+    withExec(bool execute) const
+    {
+        return EptEntry(execute ? (bits | kEptExec)
+                                : (bits & ~uint64_t{kEptExec}));
+    }
+
+    constexpr bool operator==(const EptEntry &) const = default;
+
+  private:
+    uint64_t bits = 0;
+};
+
+/** Index of the entry covering @p gpa at EPT level @p level (4..1). */
+constexpr unsigned
+eptIndex(GuestPhysAddr gpa, unsigned level)
+{
+    // Level 1 covers bits 12..20, level 2 bits 21..29, etc.
+    const unsigned shift = kPageShift + 9 * (level - 1);
+    return static_cast<unsigned>((gpa.value() >> shift) & 0x1ff);
+}
+
+/**
+ * Heuristic EPT-page format check used by the *attacker* during
+ * exploitation (Section 4.3): a page looks like an EPT page when every
+ * 8-byte group is either all-zero or a "large value" with at least one
+ * of its low 12 bits set (a frame number plus permission bits).
+ */
+constexpr bool
+wordLooksLikeEpte(uint64_t word)
+{
+    if (word == 0)
+        return true;
+    const bool low_bits = (word & 0xfffull) != 0;
+    const bool large = (word >> kEpteFrameLoBit) != 0;
+    return low_bits && large;
+}
+
+} // namespace hh::kvm
+
+#endif // HYPERHAMMER_KVM_EPT_H

@@ -1,0 +1,454 @@
+#include "buddy_allocator.h"
+
+#include <algorithm>
+
+#include "base/bitops.h"
+#include "base/log.h"
+
+namespace hh::mm {
+
+const char *
+migrateTypeName(MigrateType mt)
+{
+    switch (mt) {
+      case MigrateType::Unmovable:   return "Unmovable";
+      case MigrateType::Movable:     return "Movable";
+      case MigrateType::Reclaimable: return "Reclaimable";
+    }
+    return "?";
+}
+
+const char *
+pageUseName(PageUse use)
+{
+    switch (use) {
+      case PageUse::Free:        return "Free";
+      case PageUse::KernelData:  return "KernelData";
+      case PageUse::PageCache:   return "PageCache";
+      case PageUse::GuestMemory: return "GuestMemory";
+      case PageUse::EptPage:     return "EptPage";
+      case PageUse::IoptPage:    return "IoptPage";
+      case PageUse::DmaBuffer:   return "DmaBuffer";
+    }
+    return "?";
+}
+
+uint64_t
+PageTypeInfo::pagesBelowOrder(MigrateType mt, unsigned below_order) const
+{
+    uint64_t pages = 0;
+    for (unsigned order = 0; order < below_order && order < kMaxOrder;
+         ++order) {
+        pages += blockCount(mt, order) << order;
+    }
+    return pages;
+}
+
+uint64_t
+PageTypeInfo::totalPages(MigrateType mt) const
+{
+    return pagesBelowOrder(mt, kMaxOrder);
+}
+
+BuddyAllocator::BuddyAllocator(BuddyConfig config)
+    : frames(config.totalPages), pcpCfg(config.pcp)
+{
+    HH_ASSERT(config.totalPages > 0);
+    // Seed the free lists with maximal aligned blocks, all Movable:
+    // on a freshly booted host the vast majority of pageblocks are
+    // MIGRATE_MOVABLE; unmovable blocks appear through fallback.
+    const unsigned top = kMaxOrder - 1;
+    const uint64_t top_pages = 1ull << top;
+    Pfn pfn = 0;
+    while (pfn < frames.size()) {
+        unsigned order = top;
+        while (order > 0
+               && ((pfn & ((1ull << order) - 1)) != 0
+                   || pfn + (1ull << order) > frames.size())) {
+            --order;
+        }
+        for (uint64_t i = 0; i < (1ull << order); ++i) {
+            frames[pfn + i].free = true;
+            frames[pfn + i].migrateType = MigrateType::Movable;
+        }
+        listPush(MigrateType::Movable, order, pfn);
+        freeCount += 1ull << order;
+        pfn += 1ull << order;
+        (void)top_pages;
+    }
+}
+
+const PageFrame &
+BuddyAllocator::frame(Pfn pfn) const
+{
+    HH_ASSERT(pfn < frames.size());
+    return frames[pfn];
+}
+
+void
+BuddyAllocator::listPush(MigrateType mt, unsigned order, Pfn pfn)
+{
+    FreeList &list = lists[static_cast<unsigned>(mt)][order];
+    PageFrame &frame = frames[pfn];
+    frame.freeHead = true;
+    frame.order = static_cast<uint8_t>(order);
+    frame.prevFree = kInvalidPfn;
+    frame.nextFree = list.head;
+    if (list.head != kInvalidPfn)
+        frames[list.head].prevFree = pfn;
+    list.head = pfn;
+    ++list.count;
+}
+
+void
+BuddyAllocator::listRemove(MigrateType mt, unsigned order, Pfn pfn)
+{
+    FreeList &list = lists[static_cast<unsigned>(mt)][order];
+    PageFrame &frame = frames[pfn];
+    HH_ASSERT(frame.freeHead && frame.order == order);
+    if (frame.prevFree != kInvalidPfn)
+        frames[frame.prevFree].nextFree = frame.nextFree;
+    else
+        list.head = frame.nextFree;
+    if (frame.nextFree != kInvalidPfn)
+        frames[frame.nextFree].prevFree = frame.prevFree;
+    frame.freeHead = false;
+    frame.prevFree = frame.nextFree = kInvalidPfn;
+    HH_ASSERT(list.count > 0);
+    --list.count;
+}
+
+Pfn
+BuddyAllocator::listPop(MigrateType mt, unsigned order)
+{
+    FreeList &list = lists[static_cast<unsigned>(mt)][order];
+    HH_ASSERT(list.head != kInvalidPfn);
+    const Pfn pfn = list.head;
+    listRemove(mt, order, pfn);
+    return pfn;
+}
+
+void
+BuddyAllocator::markAllocated(Pfn pfn, unsigned order, MigrateType mt,
+                              PageUse use, uint16_t owner)
+{
+    for (uint64_t i = 0; i < (1ull << order); ++i) {
+        PageFrame &frame = frames[pfn + i];
+        frame.free = false;
+        frame.freeHead = false;
+        frame.migrateType = mt;
+        frame.use = use;
+        frame.owner = owner;
+    }
+}
+
+base::Expected<Pfn>
+BuddyAllocator::allocCore(unsigned order, MigrateType mt)
+{
+    // Smallest sufficient order first: this is the policy that makes
+    // noise-page exhaustion necessary (Section 4.2.1).
+    for (unsigned o = order; o < kMaxOrder; ++o) {
+        if (lists[static_cast<unsigned>(mt)][o].head == kInvalidPfn)
+            continue;
+        Pfn pfn = listPop(mt, o);
+        freeCount -= 1ull << o;
+        // Split the block down, returning the upper halves.
+        while (o > order) {
+            --o;
+            const Pfn buddy = pfn + (1ull << o);
+            for (uint64_t i = 0; i < (1ull << o); ++i)
+                frames[buddy + i].migrateType = mt;
+            listPush(mt, o, buddy);
+            freeCount += 1ull << o;
+        }
+        return pfn;
+    }
+    return stealFallback(order, mt);
+}
+
+base::Expected<Pfn>
+BuddyAllocator::stealFallback(unsigned order, MigrateType mt)
+{
+    // Fallback preference order, after mm/page_alloc.c fallbacks[].
+    static constexpr MigrateType kFallbacks[kMigrateTypes][2] = {
+        /* Unmovable  -> */ {MigrateType::Reclaimable, MigrateType::Movable},
+        /* Movable    -> */ {MigrateType::Reclaimable,
+                             MigrateType::Unmovable},
+        /* Reclaimable-> */ {MigrateType::Unmovable, MigrateType::Movable},
+    };
+    const auto &fallbacks = kFallbacks[static_cast<unsigned>(mt)];
+
+    // Steal the *largest* available block so future same-type
+    // allocations stay local (kernel behaviour).
+    for (int o = kMaxOrder - 1; o >= static_cast<int>(order); --o) {
+        for (MigrateType ft : fallbacks) {
+            if (lists[static_cast<unsigned>(ft)][o].head == kInvalidPfn)
+                continue;
+            Pfn pfn = listPop(ft, o);
+            freeCount -= 1ull << o;
+            // Convert the whole block to the desired type.
+            for (uint64_t i = 0; i < (1ull << o); ++i)
+                frames[pfn + i].migrateType = mt;
+            unsigned cur = static_cast<unsigned>(o);
+            while (cur > order) {
+                --cur;
+                const Pfn buddy = pfn + (1ull << cur);
+                listPush(mt, cur, buddy);
+                freeCount += 1ull << cur;
+            }
+            return pfn;
+        }
+    }
+    return base::ErrorCode::NoMemory;
+}
+
+base::Expected<Pfn>
+BuddyAllocator::allocPages(unsigned order, MigrateType mt, PageUse use,
+                           uint16_t owner)
+{
+    HH_ASSERT(order < kMaxOrder);
+    if (order == 0 && pcpCfg.highWatermark > 0) {
+        auto &cache = pcp[static_cast<unsigned>(mt)];
+        if (cache.empty()) {
+            // Refill a batch from the buddy lists (rmqueue_bulk).
+            for (unsigned i = 0; i < pcpCfg.batch; ++i) {
+                auto page = allocCore(0, mt);
+                if (!page)
+                    break;
+                // PCP pages are off the buddy lists but not yet handed
+                // out; they are not "free" in the buddy sense.
+                frames[*page].free = false;
+                frames[*page].freeHead = false;
+                frames[*page].use = PageUse::Free;
+                frames[*page].migrateType = mt;
+                cache.push_back(*page);
+            }
+        }
+        if (!cache.empty()) {
+            const Pfn pfn = cache.back();
+            cache.pop_back();
+            markAllocated(pfn, 0, mt, use, owner);
+            return pfn;
+        }
+        return base::ErrorCode::NoMemory;
+    }
+
+    auto pfn = allocCore(order, mt);
+    if (!pfn) {
+        // Allocation pressure: drain the per-CPU pagesets so parked
+        // order-0 pages can coalesce, then retry (Linux's
+        // drain_all_pages() on the slow path).
+        drainPcp();
+        pfn = allocCore(order, mt);
+    }
+    if (!pfn)
+        return pfn;
+    markAllocated(*pfn, order, mt, use, owner);
+    return pfn;
+}
+
+base::Expected<Pfn>
+BuddyAllocator::allocPagesAnyType(unsigned order, PageUse use,
+                                  uint16_t owner)
+{
+    HH_ASSERT(order < kMaxOrder);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+    for (unsigned o = order; o < kMaxOrder; ++o) {
+        for (unsigned mt = 0; mt < kMigrateTypes; ++mt) {
+            if (lists[mt][o].head == kInvalidPfn)
+                continue;
+            const auto type = static_cast<MigrateType>(mt);
+            Pfn pfn = listPop(type, o);
+            freeCount -= 1ull << o;
+            unsigned cur = o;
+            while (cur > order) {
+                --cur;
+                listPush(type, cur, pfn + (1ull << cur));
+                freeCount += 1ull << cur;
+            }
+            markAllocated(pfn, order, type, use, owner);
+            return pfn;
+        }
+    }
+    drainPcp(); // slow path: reclaim parked PCP pages and retry
+    }
+    return base::ErrorCode::NoMemory;
+}
+
+void
+BuddyAllocator::freeCore(Pfn pfn, unsigned order, MigrateType mt)
+{
+    HH_ASSERT(pfn + (1ull << order) <= frames.size());
+    for (uint64_t i = 0; i < (1ull << order); ++i) {
+        PageFrame &frame = frames[pfn + i];
+        HH_ASSERT(!frame.free);
+        HH_ASSERT(!frame.pinned);
+        frame.free = true;
+        frame.freeHead = false;
+        frame.use = PageUse::Free;
+        frame.owner = 0;
+        frame.migrateType = mt;
+    }
+    freeCount += 1ull << order;
+
+    // Coalesce with the buddy while possible. Linux only merges blocks
+    // of the same migrate type (they live on the same list).
+    while (order < kMaxOrder - 1) {
+        const Pfn buddy = pfn ^ (1ull << order);
+        if (buddy + (1ull << order) > frames.size())
+            break;
+        const PageFrame &bframe = frames[buddy];
+        if (!bframe.free || !bframe.freeHead || bframe.order != order
+            || bframe.migrateType != mt) {
+            break;
+        }
+        listRemove(mt, order, buddy);
+        pfn = std::min(pfn, buddy);
+        ++order;
+        for (uint64_t i = 0; i < (1ull << order); ++i)
+            frames[pfn + i].migrateType = mt;
+    }
+    listPush(mt, order, pfn);
+}
+
+void
+BuddyAllocator::freePages(Pfn pfn, unsigned order)
+{
+    freePagesAs(pfn, order, frames[pfn].migrateType);
+}
+
+void
+BuddyAllocator::freePagesAs(Pfn pfn, unsigned order, MigrateType mt)
+{
+    HH_ASSERT(order < kMaxOrder);
+    HH_ASSERT(!frames[pfn].pinned);
+    if (order == 0 && pcpCfg.highWatermark > 0) {
+        // Order-0 frees park in the PCP and drain in batches.
+        PageFrame &frame = frames[pfn];
+        HH_ASSERT(!frame.free);
+        frame.use = PageUse::Free;
+        frame.owner = 0;
+        frame.migrateType = mt;
+        auto &cache = pcp[static_cast<unsigned>(mt)];
+        cache.push_back(pfn);
+        if (cache.size() > pcpCfg.highWatermark) {
+            for (unsigned i = 0; i < pcpCfg.batch && !cache.empty(); ++i) {
+                const Pfn drained = cache.front();
+                cache.erase(cache.begin());
+                freeCore(drained, 0, frames[drained].migrateType);
+            }
+        }
+        return;
+    }
+    freeCore(pfn, order, mt);
+}
+
+void
+BuddyAllocator::setPinned(Pfn pfn, bool pinned)
+{
+    HH_ASSERT(pfn < frames.size());
+    HH_ASSERT(!frames[pfn].free);
+    frames[pfn].pinned = pinned;
+}
+
+void
+BuddyAllocator::setUse(Pfn pfn, PageUse use, uint16_t owner)
+{
+    HH_ASSERT(pfn < frames.size());
+    HH_ASSERT(!frames[pfn].free);
+    frames[pfn].use = use;
+    frames[pfn].owner = owner;
+}
+
+void
+BuddyAllocator::setMigrateType(Pfn pfn, MigrateType mt)
+{
+    HH_ASSERT(pfn < frames.size());
+    HH_ASSERT(!frames[pfn].free);
+    frames[pfn].migrateType = mt;
+}
+
+bool
+BuddyAllocator::blockUniformlyOwned(Pfn pfn, unsigned order,
+                                    PageUse use, uint16_t owner) const
+{
+    HH_ASSERT(pfn + (1ull << order) <= frames.size());
+    for (uint64_t i = 0; i < (1ull << order); ++i) {
+        const PageFrame &frame = frames[pfn + i];
+        if (frame.free || frame.use != use || frame.owner != owner)
+            return false;
+    }
+    return true;
+}
+
+PageTypeInfo
+BuddyAllocator::pageTypeInfo() const
+{
+    PageTypeInfo info;
+    for (unsigned mt = 0; mt < kMigrateTypes; ++mt)
+        for (unsigned order = 0; order < kMaxOrder; ++order)
+            info.blocks[mt][order] = lists[mt][order].count;
+    return info;
+}
+
+uint64_t
+BuddyAllocator::pcpCount() const
+{
+    uint64_t count = 0;
+    for (const auto &cache : pcp)
+        count += cache.size();
+    return count;
+}
+
+void
+BuddyAllocator::drainPcp()
+{
+    for (auto &cache : pcp) {
+        for (Pfn pfn : cache)
+            freeCore(pfn, 0, frames[pfn].migrateType);
+        cache.clear();
+    }
+}
+
+void
+BuddyAllocator::checkConsistency() const
+{
+    // 1. Every list entry is a free head of the right order/type, and
+    //    the doubly-linked structure is intact.
+    uint64_t listed_pages = 0;
+    for (unsigned mt = 0; mt < kMigrateTypes; ++mt) {
+        for (unsigned order = 0; order < kMaxOrder; ++order) {
+            const FreeList &list = lists[mt][order];
+            uint64_t walked = 0;
+            Pfn prev = kInvalidPfn;
+            for (Pfn pfn = list.head; pfn != kInvalidPfn;
+                 pfn = frames[pfn].nextFree) {
+                const PageFrame &frame = frames[pfn];
+                HH_ASSERT(frame.free && frame.freeHead);
+                HH_ASSERT(frame.order == order);
+                HH_ASSERT(frame.migrateType
+                          == static_cast<MigrateType>(mt));
+                HH_ASSERT(frame.prevFree == prev);
+                HH_ASSERT((pfn & ((1ull << order) - 1)) == 0);
+                // Tail frames of the block are free but not heads.
+                for (uint64_t i = 1; i < (1ull << order); ++i) {
+                    HH_ASSERT(frames[pfn + i].free);
+                    HH_ASSERT(!frames[pfn + i].freeHead);
+                }
+                prev = pfn;
+                ++walked;
+                listed_pages += 1ull << order;
+            }
+            HH_ASSERT(walked == list.count);
+        }
+    }
+    HH_ASSERT(listed_pages == freeCount);
+
+    // 2. Every frame marked free belongs to exactly one listed block.
+    uint64_t free_frames = 0;
+    for (const PageFrame &frame : frames)
+        free_frames += frame.free ? 1 : 0;
+    HH_ASSERT(free_frames == freeCount);
+}
+
+} // namespace hh::mm

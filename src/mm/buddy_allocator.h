@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Linux-style buddy page allocator (Section 2.3).
+ *
+ * Faithful to the policies Page Steering depends on:
+ *   - per-migratetype free lists, one per order 0..kMaxOrder-1;
+ *   - allocation takes the smallest sufficient order and splits larger
+ *     blocks only when the smaller lists are empty;
+ *   - freed blocks coalesce with their buddy when both are free and of
+ *     the same migrate type;
+ *   - when a migrate type is exhausted, the allocator *steals* the
+ *     largest available block of a fallback type and converts it
+ *     (Section 2.4);
+ *   - an order-0 per-CPU pageset (PCP) front-end that is consulted
+ *     before the buddy lists (the "free page cache" noise source of
+ *     Section 4.2.3).
+ */
+
+#ifndef HYPERHAMMER_MM_BUDDY_ALLOCATOR_H
+#define HYPERHAMMER_MM_BUDDY_ALLOCATOR_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "mm/page.h"
+
+namespace hh::mm {
+
+/**
+ * Snapshot of free-list occupancy, the simulator's equivalent of
+ * /proc/pagetypeinfo (used for Figure 3).
+ */
+struct PageTypeInfo
+{
+    /** blocks[mt][order] = number of free blocks. */
+    std::array<std::array<uint64_t, kMaxOrder>, kMigrateTypes> blocks{};
+
+    /** Free blocks of one (type, order). */
+    uint64_t
+    blockCount(MigrateType mt, unsigned order) const
+    {
+        return blocks[static_cast<unsigned>(mt)][order];
+    }
+
+    /**
+     * Total free *pages* in orders [0, below_order) of one migrate
+     * type: the paper's "noise pages" metric when applied to
+     * Unmovable with below_order = 9.
+     */
+    uint64_t pagesBelowOrder(MigrateType mt, unsigned below_order) const;
+
+    /** Total free pages of a migrate type across all orders. */
+    uint64_t totalPages(MigrateType mt) const;
+};
+
+/** Per-CPU pageset configuration. */
+struct PcpConfig
+{
+    /** Maximum order-0 pages parked in the PCP before draining. */
+    unsigned highWatermark = 186;
+    /** Pages moved per refill/drain batch. */
+    unsigned batch = 63;
+};
+
+/** Allocator construction parameters. */
+struct BuddyConfig
+{
+    /** Managed physical pages (frames [0, totalPages)). */
+    uint64_t totalPages;
+    PcpConfig pcp;
+};
+
+/**
+ * The buddy allocator over a flat frame database. Single NUMA node,
+ * single zone: the evaluation machines are small desktops (Section 5)
+ * and the attack is insensitive to zone structure.
+ */
+class BuddyAllocator
+{
+  public:
+    explicit BuddyAllocator(BuddyConfig config);
+
+    /** Number of managed frames. */
+    uint64_t totalPages() const { return frames.size(); }
+
+    /** Frames currently free (buddy lists + PCP). */
+    uint64_t freePages() const { return freeCount + pcpCount(); }
+
+    /** Read-only frame metadata. */
+    const PageFrame &frame(Pfn pfn) const;
+
+    /**
+     * Allocate a 2^order block with the given migrate type.
+     * Order-0 unmovable/movable requests go through the PCP first.
+     *
+     * @return PFN of the block head, or NoMemory
+     */
+    base::Expected<Pfn> allocPages(unsigned order, MigrateType mt,
+                                   PageUse use, uint16_t owner = 0);
+
+    /**
+     * Allocate ignoring migrate types: take the smallest available
+     * block from *any* list (Xen's alloc_domheap_pages has no
+     * migrate-type separation; Section 6). The block keeps the
+     * migrate type of the list it came from.
+     */
+    base::Expected<Pfn> allocPagesAnyType(unsigned order, PageUse use,
+                                          uint16_t owner = 0);
+
+    /** Free a block previously returned by allocPages. */
+    void freePages(Pfn pfn, unsigned order);
+
+    /**
+     * Free a block and *retype* it in the process (models the path
+     * where madvise(DONTNEED) returns a THP-backed region: the freed
+     * range keeps its pageblock migrate type).
+     */
+    void freePagesAs(Pfn pfn, unsigned order, MigrateType mt);
+
+    /** Pin / unpin one frame (VFIO). Pinned frames must be allocated. */
+    void setPinned(Pfn pfn, bool pinned);
+
+    /** Update the usage tag of an allocated frame. */
+    void setUse(Pfn pfn, PageUse use, uint16_t owner);
+
+    /** Retype an allocated frame (pinning marks frames unmovable). */
+    void setMigrateType(Pfn pfn, MigrateType mt);
+
+    /**
+     * True when every frame of the 2^order block is allocated with
+     * the given use and owner -- the precondition for freeing the
+     * block wholesale (a ballooned-out page breaks it).
+     */
+    bool blockUniformlyOwned(Pfn pfn, unsigned order, PageUse use,
+                             uint16_t owner) const;
+
+    /** Free-list census (the /proc/pagetypeinfo equivalent). */
+    PageTypeInfo pageTypeInfo() const;
+
+    /** Current number of order-0 pages held by the PCP front-end. */
+    uint64_t pcpCount() const;
+
+    /** Drain all PCP pages back into the buddy lists. */
+    void drainPcp();
+
+    /**
+     * Verify internal invariants (every free block correctly linked,
+     * buddy bitmap consistent, no double-free). O(frames); tests only.
+     */
+    void checkConsistency() const;
+
+  private:
+    struct FreeList
+    {
+        Pfn head = kInvalidPfn;
+        uint64_t count = 0;
+    };
+
+    std::vector<PageFrame> frames;
+    /** lists[mt][order] */
+    std::array<std::array<FreeList, kMaxOrder>, kMigrateTypes> lists{};
+    uint64_t freeCount = 0;
+
+    /** PCP front-end: order-0 page stacks per migrate type. */
+    PcpConfig pcpCfg;
+    std::array<std::vector<Pfn>, kMigrateTypes> pcp;
+
+    void listPush(MigrateType mt, unsigned order, Pfn pfn);
+    void listRemove(MigrateType mt, unsigned order, Pfn pfn);
+    Pfn listPop(MigrateType mt, unsigned order);
+
+    /** Core buddy alloc (no PCP). */
+    base::Expected<Pfn> allocCore(unsigned order, MigrateType mt);
+
+    /** Core buddy free (no PCP), with coalescing. */
+    void freeCore(Pfn pfn, unsigned order, MigrateType mt);
+
+    /** Steal the largest block of another migrate type. */
+    base::Expected<Pfn> stealFallback(unsigned order, MigrateType mt);
+
+    void markAllocated(Pfn pfn, unsigned order, MigrateType mt,
+                       PageUse use, uint16_t owner);
+};
+
+} // namespace hh::mm
+
+#endif // HYPERHAMMER_MM_BUDDY_ALLOCATOR_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Page-frame metadata, mirroring the parts of Linux's struct page that
+ * the attack interacts with: free-list linkage, buddy order, migration
+ * type, pinning, and a coarse "what is this page used for" tag that the
+ * evaluation harness uses to count EPT/IOPT pages (Table 2).
+ */
+
+#ifndef HYPERHAMMER_MM_PAGE_H
+#define HYPERHAMMER_MM_PAGE_H
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace hh::mm {
+
+/**
+ * Migration types (Section 2.4). Linux has more; the attack only
+ * distinguishes unmovable allocations (page tables, IOPTs, pinned guest
+ * memory) from movable ones, with reclaimable kept for realistic
+ * fallback ordering.
+ */
+enum class MigrateType : uint8_t
+{
+    Unmovable = 0,
+    Movable = 1,
+    Reclaimable = 2,
+};
+
+/** Number of migrate types tracked in the free lists. */
+constexpr unsigned kMigrateTypes = 3;
+
+/** Largest order + 1 (Linux MAX_ORDER on x86-64, Section 2.3). */
+constexpr unsigned kMaxOrder = 11;
+
+/** Coarse usage tag for accounting and the Table 2 census. */
+enum class PageUse : uint8_t
+{
+    Free = 0,
+    KernelData,   ///< host kernel internal allocation
+    PageCache,    ///< host page cache ("noise" pages)
+    GuestMemory,  ///< backs a guest VM's RAM
+    EptPage,      ///< holds extended-page-table entries
+    IoptPage,     ///< holds IOMMU page-table entries
+    DmaBuffer,    ///< device data buffer
+};
+
+/** Human-readable name of a migrate type. */
+const char *migrateTypeName(MigrateType mt);
+
+/** Human-readable name of a page use. */
+const char *pageUseName(PageUse use);
+
+/**
+ * Per-frame metadata. Kept small deliberately: a 16 GB host has 4 M
+ * frames and the frame database is a flat array.
+ */
+struct PageFrame
+{
+    /** Free-list linkage (valid only while the frame heads a block). */
+    Pfn nextFree = kInvalidPfn;
+    Pfn prevFree = kInvalidPfn;
+    /** Order of the free block this frame heads (if free head). */
+    uint8_t order = 0;
+    /** True when the frame is part of a free block. */
+    bool free = false;
+    /** True when the frame heads its free block. */
+    bool freeHead = false;
+    /** Migration type of the page block this frame belongs to. */
+    MigrateType migrateType = MigrateType::Movable;
+    /** What the frame is used for when allocated. */
+    PageUse use = PageUse::Free;
+    /** Pinned for DMA (VFIO); cannot migrate (Section 2.6). */
+    bool pinned = false;
+    /** Owning VM id (0 = host). */
+    uint16_t owner = 0;
+};
+
+} // namespace hh::mm
+
+#endif // HYPERHAMMER_MM_PAGE_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * HostSystem: the hypervisor host -- DRAM, buddy allocator, background
+ * memory noise, and VM lifecycle.
+ *
+ * Three presets reproduce the paper's evaluation machines (Section 5):
+ *   S1 -- Core i3-10100 host, 16 GB DDR4-2666, plain KVM;
+ *   S2 -- Xeon E3-2124 host, same DIMMs, plain KVM;
+ *   S3 -- S1's hardware running a single-node OpenStack (DevStack)
+ *         deployment, which leaves a much larger population of
+ *         unmovable "noise" pages and keeps churning them.
+ */
+
+#ifndef HYPERHAMMER_SYS_HOST_SYSTEM_H
+#define HYPERHAMMER_SYS_HOST_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/sim_clock.h"
+#include "dram/dram_system.h"
+#include "mm/buddy_allocator.h"
+#include "vm/virtual_machine.h"
+
+namespace hh::sys {
+
+/** Host background-memory workload parameters. */
+struct NoiseConfig
+{
+    /** Unmovable kernel allocations made at boot and kept (pages). */
+    uint64_t kernelResidentPages = 40'000;
+    /**
+     * Small-order MIGRATE_UNMOVABLE *free* pages left behind by boot
+     * (the Figure 3 "noise pages" starting level). Produced by
+     * allocating and randomly freeing unmovable pages so the frees do
+     * not coalesce back into large blocks.
+     */
+    uint64_t unmovableFreePages = 21'000;
+    /** Movable page-cache pages resident after boot. */
+    uint64_t pageCachePages = 120'000;
+    /**
+     * Background churn per noiseTick(): pages allocated and freed by
+     * host services while the attack runs (OpenStack's agents on S3).
+     * Zero disables churn.
+     */
+    uint64_t churnPagesPerTick = 0;
+};
+
+/** Full host configuration. */
+struct SystemConfig
+{
+    std::string name = "S1";
+    dram::DramConfig dram;
+    NoiseConfig noise;
+    uint64_t seed = 1;
+
+    /** Paper system S1: i3-10100 host. */
+    static SystemConfig s1(uint64_t seed = 1);
+    /** Paper system S2: Xeon E3-2124 host. */
+    static SystemConfig s2(uint64_t seed = 1);
+    /** Paper system S3: S1 hardware + OpenStack noise. */
+    static SystemConfig s3(uint64_t seed = 1);
+
+    /** Scale host memory (and the row range) down for fast tests. */
+    SystemConfig &withMemory(uint64_t bytes);
+    /** Replace the RNG seed everywhere it matters. */
+    SystemConfig &withSeed(uint64_t seed);
+};
+
+/**
+ * The host: owns the virtual clock, the DRAM device, the buddy
+ * allocator and the boot-time memory footprint; creates VMs.
+ */
+class HostSystem
+{
+  public:
+    explicit HostSystem(SystemConfig config);
+    ~HostSystem();
+
+    HostSystem(const HostSystem &) = delete;
+    HostSystem &operator=(const HostSystem &) = delete;
+
+    const SystemConfig &config() const { return cfg; }
+    base::SimClock &clock() { return simClock; }
+    dram::DramSystem &dram() { return *dramSys; }
+    mm::BuddyAllocator &buddy() { return *allocator; }
+
+    /** Create (boot) a VM. */
+    std::unique_ptr<vm::VirtualMachine> createVm(const vm::VmConfig &cfg);
+
+    /**
+     * The Figure 3 metric: free MIGRATE_UNMOVABLE pages in orders
+     * 0..8 (anything an order-0 EPT/IOPT allocation would prefer over
+     * a released order-9 block), plus the PCP front-end.
+     */
+    uint64_t noisePages() const;
+
+    /** Free-list census passthrough. */
+    mm::PageTypeInfo pageTypeInfo() const { return allocator->pageTypeInfo(); }
+
+    /**
+     * One step of background host activity: services allocate and
+     * free unmovable pages (churnPagesPerTick of each), perturbing the
+     * free lists while an attack runs. Charges virtual time.
+     */
+    void noiseTick();
+
+    /** Census of allocated frames by use (Table 2's E counts, etc.). */
+    uint64_t countFramesByUse(mm::PageUse use, uint16_t owner = 0) const;
+
+    /**
+     * Page-cache turnover: evict and re-fault @p pages file pages.
+     * Runs implicitly on every VM spawn -- real hosts keep serving I/O
+     * between guest lifetimes, so no two spawns see identical free
+     * lists (attack attempts are not deterministic replays).
+     */
+    void pageCacheChurn(uint64_t pages);
+
+  private:
+    SystemConfig cfg;
+    base::SimClock simClock;
+    std::unique_ptr<dram::DramSystem> dramSys;
+    std::unique_ptr<mm::BuddyAllocator> allocator;
+    base::Rng rng;
+    uint16_t nextVmId = 1;
+
+    /** Resident kernel/service pages; churn cycles through these. */
+    std::vector<Pfn> residentKernelPages;
+    std::vector<Pfn> pageCachePages;
+
+    void bootHost();
+};
+
+} // namespace hh::sys
+
+#endif // HYPERHAMMER_SYS_HOST_SYSTEM_H

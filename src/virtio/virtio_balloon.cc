@@ -1,0 +1,72 @@
+#include "virtio_balloon.h"
+
+#include "base/log.h"
+
+namespace hh::virtio {
+
+VirtioBalloonDevice::~VirtioBalloonDevice()
+{
+    // Replacement frames are not part of any original backing block;
+    // return them before the block-wise teardown runs.
+    for (const auto &[gpa, frame] : replacements) {
+        if (inflated.count(gpa))
+            continue; // re-inflated after a deflate: frame is gone
+        (void)mmu.unmap(GuestPhysAddr(gpa));
+        dram.backend().clearPage(frame);
+        buddy.freePages(frame, 0);
+    }
+}
+
+base::Status
+VirtioBalloonDevice::inflatePage(GuestPhysAddr gpa)
+{
+    if (!gpa.pageAligned())
+        return base::ErrorCode::InvalidArgument;
+    if (regionBytes
+        && (gpa < regionStart || gpa >= regionStart + regionBytes))
+        return base::ErrorCode::InvalidArgument;
+    if (inflated.count(gpa.value()))
+        return base::ErrorCode::Exists;
+    auto leaf = mmu.leafEntry(gpa);
+    if (!leaf)
+        return base::Status(leaf.error());
+    if (leaf->largePage()) {
+        // The guest must split hugepage-backed ranges before
+        // ballooning them; the device rejects 2 MB leaves.
+        return base::ErrorCode::InvalidArgument;
+    }
+    auto hpa = mmu.translate(gpa);
+    if (!hpa)
+        return base::Status(hpa.error());
+    const base::Status unmapped = mmu.unmap(gpa);
+    if (!unmapped.ok())
+        return unmapped;
+    dram.backend().clearPage(hpa->pfn());
+    // Balloon pages free back with their existing (movable) type:
+    // without VFIO nothing made them unmovable (Section 6).
+    buddy.freePages(hpa->pfn(), 0);
+    inflated.insert(gpa.value());
+    return base::Status::success();
+}
+
+base::Status
+VirtioBalloonDevice::deflatePage(GuestPhysAddr gpa)
+{
+    if (!inflated.count(gpa.value()))
+        return base::ErrorCode::NotFound;
+    auto page = buddy.allocPages(0, mm::MigrateType::Movable,
+                                 mm::PageUse::GuestMemory, owner);
+    if (!page)
+        return page.error();
+    const base::Status mapped =
+        mmu.map4k(gpa, HostPhysAddr(*page * kPageSize), false);
+    if (!mapped.ok()) {
+        buddy.freePages(*page, 0);
+        return mapped;
+    }
+    inflated.erase(gpa.value());
+    replacements[gpa.value()] = *page;
+    return base::Status::success();
+}
+
+} // namespace hh::virtio

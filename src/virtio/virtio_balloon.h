@@ -1,0 +1,92 @@
+/**
+ * @file
+ * virtio-balloon model (Section 6 discussion).
+ *
+ * The balloon is KVM's older, page-granular overcommit device: the
+ * guest "inflates" by handing individual 4 KB pages to the host, which
+ * frees them as order-0 blocks. Unlike virtio-mem there is no 2 MB
+ * sub-block structure, so an attacker does not need to exhaust
+ * small-order free lists first -- but without VFIO the released pages
+ * free as MIGRATE_MOVABLE, and EPT allocations only reach them through
+ * migrate-type fallback *stealing* once the unmovable lists are
+ * completely dry. The bench_ablation_variants experiment quantifies
+ * this difference.
+ */
+
+#ifndef HYPERHAMMER_VIRTIO_VIRTIO_BALLOON_H
+#define HYPERHAMMER_VIRTIO_VIRTIO_BALLOON_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "dram/dram_system.h"
+#include "kvm/mmu.h"
+#include "mm/buddy_allocator.h"
+
+namespace hh::virtio {
+
+/** Host-side virtio-balloon device. */
+class VirtioBalloonDevice
+{
+  public:
+    /**
+     * @param region_start/@p region_bytes restrict ballooning to a
+     * GPA window (the VM wires this to boot RAM so balloon holes
+     * never overlap virtio-mem sub-blocks; zero bytes = unrestricted)
+     */
+    VirtioBalloonDevice(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
+                        kvm::Mmu &mmu, uint16_t owner_id,
+                        GuestPhysAddr region_start = GuestPhysAddr(0),
+                        uint64_t region_bytes = 0)
+        : dram(dram),
+          buddy(buddy),
+          mmu(mmu),
+          owner(owner_id),
+          regionStart(region_start),
+          regionBytes(region_bytes)
+    {}
+
+    ~VirtioBalloonDevice();
+
+    VirtioBalloonDevice(const VirtioBalloonDevice &) = delete;
+    VirtioBalloonDevice &operator=(const VirtioBalloonDevice &) = delete;
+
+    /**
+     * Guest inflates one page: the 4 KB EPT mapping of @p gpa is torn
+     * down and its host backing freed as an order-0 MOVABLE block.
+     * Only pages mapped with 4 KB granularity can balloon (the guest
+     * splits THP ranges before inflating).
+     */
+    base::Status inflatePage(GuestPhysAddr gpa);
+
+    /**
+     * Guest deflates a previously inflated page: fresh host backing is
+     * allocated and mapped.
+     */
+    base::Status deflatePage(GuestPhysAddr gpa);
+
+    /** Pages currently in the balloon. */
+    uint64_t inflatedCount() const { return inflated.size(); }
+
+  private:
+    dram::DramSystem &dram;
+    mm::BuddyAllocator &buddy;
+    kvm::Mmu &mmu;
+    uint16_t owner;
+    GuestPhysAddr regionStart;
+    uint64_t regionBytes;
+    std::unordered_set<uint64_t> inflated;
+    /**
+     * GPA -> replacement frame installed by deflatePage(). These
+     * frames live outside the VM's original backing blocks and are
+     * returned by the device destructor.
+     */
+    std::unordered_map<uint64_t, Pfn> replacements;
+};
+
+} // namespace hh::virtio
+
+#endif // HYPERHAMMER_VIRTIO_VIRTIO_BALLOON_H

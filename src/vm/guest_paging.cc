@@ -1,0 +1,237 @@
+#include "guest_paging.h"
+
+#include "base/bitops.h"
+#include "base/log.h"
+
+namespace hh::vm {
+
+GuestPaging::GuestPaging(VirtualMachine &machine,
+                         GuestPhysAddr table_gpa, uint64_t table_bytes,
+                         ThpPolicy policy)
+    : machine(machine),
+      tableRegion(table_gpa),
+      tableBytes(table_bytes),
+      thpPolicy(policy)
+{
+    HH_ASSERT(table_gpa.pageAligned());
+    auto root_page = allocTablePage();
+    if (!root_page)
+        base::fatal("guest paging: no room for the root table");
+    root = *root_page;
+}
+
+base::Expected<GuestPhysAddr>
+GuestPaging::allocTablePage()
+{
+    if ((tableBump + 1) * kPageSize > tableBytes)
+        return base::ErrorCode::NoMemory;
+    const GuestPhysAddr page = tableRegion + tableBump * kPageSize;
+    ++tableBump;
+    const base::Status zeroed = machine.fillPage(page, 0);
+    if (!zeroed.ok())
+        return zeroed.error();
+    return page;
+}
+
+base::Expected<uint64_t>
+GuestPaging::readEntry(GuestPhysAddr table, unsigned idx)
+{
+    return machine.read64(table + idx * 8ull);
+}
+
+base::Status
+GuestPaging::writeEntry(GuestPhysAddr table, unsigned idx,
+                        uint64_t entry)
+{
+    return machine.write64(table + idx * 8ull, entry);
+}
+
+base::Expected<GuestPhysAddr>
+GuestPaging::walkToPd(GuestVirtAddr gva, bool create)
+{
+    GuestPhysAddr table = root;
+    for (unsigned level = 4; level > 2; --level) {
+        const unsigned idx = index(gva, level);
+        auto entry = readEntry(table, idx);
+        if (!entry)
+            return entry.error();
+        if (!(*entry & kGuestPresent)) {
+            if (!create)
+                return base::ErrorCode::NotFound;
+            auto next = allocTablePage();
+            if (!next)
+                return next;
+            *entry = (next->value() & ~(kPageSize - 1)) | kGuestPresent
+                | kGuestWrite | kGuestUser;
+            const base::Status written = writeEntry(table, idx, *entry);
+            if (!written.ok())
+                return written.error();
+        }
+        table = GuestPhysAddr(*entry & ~0xfffull & ((1ull << 48) - 1));
+    }
+    return table;
+}
+
+base::Status
+GuestPaging::map2m(GuestVirtAddr gva, GuestPhysAddr backing)
+{
+    auto pd = walkToPd(gva, true);
+    if (!pd)
+        return base::Status(pd.error());
+    const unsigned idx = index(gva, 2);
+    auto existing = readEntry(*pd, idx);
+    if (!existing)
+        return base::Status(existing.error());
+    if (*existing & kGuestPresent)
+        return base::ErrorCode::Exists;
+    return writeEntry(*pd, idx,
+                      backing.value() | kGuestPresent | kGuestWrite
+                          | kGuestUser | kGuestPageSize);
+}
+
+base::Status
+GuestPaging::map4k(GuestVirtAddr gva, GuestPhysAddr backing)
+{
+    auto pd = walkToPd(gva, true);
+    if (!pd)
+        return base::Status(pd.error());
+    const unsigned pd_idx = index(gva, 2);
+    auto pde = readEntry(*pd, pd_idx);
+    if (!pde)
+        return base::Status(pde.error());
+    if ((*pde & kGuestPresent) && (*pde & kGuestPageSize))
+        return base::ErrorCode::Exists;
+    GuestPhysAddr pt{0};
+    if (!(*pde & kGuestPresent)) {
+        auto fresh = allocTablePage();
+        if (!fresh)
+            return base::Status(fresh.error());
+        pt = *fresh;
+        const base::Status written = writeEntry(
+            *pd, pd_idx,
+            pt.value() | kGuestPresent | kGuestWrite | kGuestUser);
+        if (!written.ok())
+            return written;
+    } else {
+        pt = GuestPhysAddr(*pde & ~0xfffull & ((1ull << 48) - 1));
+    }
+    const unsigned pt_idx = index(gva, 1);
+    auto pte = readEntry(pt, pt_idx);
+    if (!pte)
+        return base::Status(pte.error());
+    if (*pte & kGuestPresent)
+        return base::ErrorCode::Exists;
+    return writeEntry(pt, pt_idx,
+                      backing.value() | kGuestPresent | kGuestWrite
+                          | kGuestUser);
+}
+
+base::Status
+GuestPaging::mapAnonymous(GuestVirtAddr gva, uint64_t bytes,
+                          GuestPhysAddr backing)
+{
+    if (!gva.value() || gva.value() % kPageSize
+        || backing.value() % kPageSize || bytes % kPageSize)
+        return base::ErrorCode::InvalidArgument;
+
+    uint64_t off = 0;
+    while (off < bytes) {
+        const GuestVirtAddr va = gva + off;
+        const GuestPhysAddr pa = backing + off;
+        const bool huge_eligible = thpPolicy == ThpPolicy::Always
+            && (va.value() % kHugePageSize) == 0
+            && pa.hugePageAligned() && bytes - off >= kHugePageSize;
+        if (huge_eligible) {
+            const base::Status status = map2m(va, pa);
+            if (!status.ok())
+                return status;
+            off += kHugePageSize;
+        } else {
+            const base::Status status = map4k(va, pa);
+            if (!status.ok())
+                return status;
+            off += kPageSize;
+        }
+    }
+    return base::Status::success();
+}
+
+base::Status
+GuestPaging::unmap(GuestVirtAddr gva)
+{
+    auto pd = walkToPd(gva, false);
+    if (!pd)
+        return base::Status(pd.error());
+    const unsigned pd_idx = index(gva, 2);
+    auto pde = readEntry(*pd, pd_idx);
+    if (!pde || !(*pde & kGuestPresent))
+        return base::ErrorCode::NotFound;
+    if (*pde & kGuestPageSize)
+        return writeEntry(*pd, pd_idx, 0);
+    const GuestPhysAddr pt(*pde & ~0xfffull & ((1ull << 48) - 1));
+    const unsigned pt_idx = index(gva, 1);
+    auto pte = readEntry(pt, pt_idx);
+    if (!pte || !(*pte & kGuestPresent))
+        return base::ErrorCode::NotFound;
+    return writeEntry(pt, pt_idx, 0);
+}
+
+base::Expected<GuestPhysAddr>
+GuestPaging::translate(GuestVirtAddr gva)
+{
+    auto pd = walkToPd(gva, false);
+    if (!pd)
+        return pd.error();
+    auto pde = readEntry(*pd, index(gva, 2));
+    if (!pde)
+        return pde.error();
+    if (!(*pde & kGuestPresent))
+        return base::ErrorCode::NotFound;
+    if (*pde & kGuestPageSize) {
+        const GuestPhysAddr base(*pde & ~(kHugePageSize - 1)
+                                 & ((1ull << 48) - 1));
+        return base + gva.value() % kHugePageSize;
+    }
+    const GuestPhysAddr pt(*pde & ~0xfffull & ((1ull << 48) - 1));
+    auto pte = readEntry(pt, index(gva, 1));
+    if (!pte)
+        return pte.error();
+    if (!(*pte & kGuestPresent))
+        return base::ErrorCode::NotFound;
+    const GuestPhysAddr base(*pte & ~0xfffull & ((1ull << 48) - 1));
+    return base + gva.value() % kPageSize;
+}
+
+base::Expected<bool>
+GuestPaging::backedByHugePage(GuestVirtAddr gva)
+{
+    auto pd = walkToPd(gva, false);
+    if (!pd)
+        return pd.error();
+    auto pde = readEntry(*pd, index(gva, 2));
+    if (!pde)
+        return pde.error();
+    if (!(*pde & kGuestPresent))
+        return base::ErrorCode::NotFound;
+    return (*pde & kGuestPageSize) != 0;
+}
+
+base::Expected<uint64_t>
+GuestPaging::read64(GuestVirtAddr gva)
+{
+    auto gpa = translate(gva);
+    if (!gpa)
+        return gpa.error();
+    return machine.read64(*gpa);
+}
+
+base::Status
+GuestPaging::write64(GuestVirtAddr gva, uint64_t value)
+{
+    auto gpa = translate(gva);
+    if (!gpa)
+        return base::Status(gpa.error());
+    return machine.write64(*gpa, value);
+}
+
+} // namespace hh::vm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Guest-side paging: guest virtual addresses, guest page tables, and
+ * guest transparent hugepages.
+ *
+ * The attack reasons about *virtual* addresses inside the VM: with
+ * THP enabled in the guest, a 2 MB-aligned anonymous buffer is backed
+ * by 2 MB guest-physical pages, so GVA bits 0..20 survive the
+ * GVA -> GPA translation; host THP then preserves them across
+ * GPA -> HPA (Section 4.1). The attack modules work in GPAs, which is
+ * sound *because* of this property -- this module makes the property
+ * itself real and testable rather than assumed: it implements x86-64
+ * style 4-level guest page tables whose table pages live in guest
+ * memory (reached through the EPT like any other guest data), an
+ * anonymous-memory allocator with a THP policy, and honest
+ * GVA-by-GVA translation.
+ *
+ * Layout conventions (matching a simple guest kernel):
+ *   - table pages are carved from the top of boot RAM;
+ *   - anonymous mappings are backed by virtio-mem region GPAs.
+ */
+
+#ifndef HYPERHAMMER_VM_GUEST_PAGING_H
+#define HYPERHAMMER_VM_GUEST_PAGING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "vm/virtual_machine.h"
+
+namespace hh::vm {
+
+/** Guest PTE bits (x86-64 subset). */
+enum GuestPteBits : uint64_t
+{
+    kGuestPresent = 1ull << 0,
+    kGuestWrite = 1ull << 1,
+    kGuestUser = 1ull << 2,
+    kGuestPageSize = 1ull << 7, // 2 MB leaf at the PD level
+};
+
+/** THP policy of the guest kernel. */
+enum class ThpPolicy : uint8_t
+{
+    Always, ///< back eligible (2 MB-aligned, >= 2 MB) ranges hugely
+    Never,  ///< 4 KB pages only
+};
+
+/**
+ * A guest process' page tables plus a bump allocator over the guest
+ * physical space for both table pages and anonymous backing.
+ */
+class GuestPaging
+{
+  public:
+    /**
+     * @param machine     the VM whose memory hosts everything
+     * @param table_gpa   GPA region for page-table pages
+     * @param table_bytes size of that region
+     * @param policy      guest THP policy
+     */
+    GuestPaging(VirtualMachine &machine, GuestPhysAddr table_gpa,
+                uint64_t table_bytes, ThpPolicy policy);
+
+    /**
+     * Map an anonymous buffer of @p bytes at @p gva, backed by the
+     * guest-physical range starting at @p backing. Under
+     * ThpPolicy::Always, 2 MB-aligned stretches (when both gva and
+     * backing are co-aligned) use 2 MB guest pages.
+     */
+    base::Status mapAnonymous(GuestVirtAddr gva, uint64_t bytes,
+                              GuestPhysAddr backing);
+
+    /** Remove the mapping of one 4 KB or 2 MB page containing gva. */
+    base::Status unmap(GuestVirtAddr gva);
+
+    /**
+     * Translate by walking the guest tables (every walk step is a
+     * real guest memory read through the EPT).
+     */
+    base::Expected<GuestPhysAddr> translate(GuestVirtAddr gva);
+
+    /** Read through GVA (guest walk + EPT-mediated access). */
+    base::Expected<uint64_t> read64(GuestVirtAddr gva);
+
+    /** Write through GVA. */
+    base::Status write64(GuestVirtAddr gva, uint64_t value);
+
+    /** True when gva is backed by a 2 MB guest page. */
+    base::Expected<bool> backedByHugePage(GuestVirtAddr gva);
+
+    /** Guest-physical frames used for table pages so far. */
+    uint64_t tablePagesUsed() const { return tableBump; }
+
+    ThpPolicy policy() const { return thpPolicy; }
+
+  private:
+    VirtualMachine &machine;
+    GuestPhysAddr tableRegion;
+    uint64_t tableBytes;
+    ThpPolicy thpPolicy;
+
+    GuestPhysAddr root{0};
+    uint64_t tableBump = 0; // table pages handed out
+
+    /** Allocate and zero one guest page-table page. */
+    base::Expected<GuestPhysAddr> allocTablePage();
+
+    static unsigned
+    index(GuestVirtAddr gva, unsigned level)
+    {
+        return static_cast<unsigned>(
+            (gva.value() >> (kPageShift + 9 * (level - 1))) & 0x1ff);
+    }
+
+    base::Expected<uint64_t> readEntry(GuestPhysAddr table,
+                                       unsigned idx);
+    base::Status writeEntry(GuestPhysAddr table, unsigned idx,
+                            uint64_t entry);
+
+    /** Walk to the PD (level 2) table, creating tables if asked. */
+    base::Expected<GuestPhysAddr> walkToPd(GuestVirtAddr gva,
+                                           bool create);
+
+    base::Status map2m(GuestVirtAddr gva, GuestPhysAddr backing);
+    base::Status map4k(GuestVirtAddr gva, GuestPhysAddr backing);
+};
+
+} // namespace hh::vm
+
+#endif // HYPERHAMMER_VM_GUEST_PAGING_H

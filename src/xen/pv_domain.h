@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Xen paravirtualization with direct paging -- the substrate of the
+ * Xiao et al. (USENIX Security'16) baseline attack the paper contrasts
+ * itself against (Section 2.1).
+ *
+ * Under PV direct paging there is a single level of translation: the
+ * guest's page tables hold *machine* frame numbers and are walked by
+ * the hardware directly. The guest therefore (a) knows the machine
+ * addresses of its own memory, and (b) chooses which of its frames
+ * become page tables. Xen keeps safety by validating updates: a frame
+ * must be *pinned* as a page-table before use (Xen write-protects it),
+ * and every entry written via the mmu_update hypercall must reference
+ * a frame the domain owns.
+ *
+ * Both properties together are what made the 2016 attack
+ * deterministic: the attacker pins a page-middle-directory on a frame
+ * it profiled as Rowhammer-vulnerable, writes a forged page table in
+ * another owned frame, and one bit flip makes the PMD point at the
+ * forged table -- no validation ever sees the new value. HyperHammer's
+ * HVM setting removes both properties (hidden addresses,
+ * hypervisor-owned EPTs), which is why it needs Page Steering and is
+ * probabilistic.
+ */
+
+#ifndef HYPERHAMMER_XEN_PV_DOMAIN_H
+#define HYPERHAMMER_XEN_PV_DOMAIN_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "dram/dram_system.h"
+#include "mm/buddy_allocator.h"
+
+namespace hh::xen {
+
+/** PV PTE bits (x86-64 subset; entries hold machine frames). */
+enum PvPteBits : uint64_t
+{
+    kPvPresent = 1ull << 0,
+    kPvWrite = 1ull << 1,
+};
+
+/** Levels of the PV page-table hierarchy we model (PMD + PT). */
+enum class PtLevel : uint8_t { Pt = 1, Pmd = 2 };
+
+/**
+ * A paravirtualized domain: a set of machine frames the guest fully
+ * knows, plus Xen's page-table pinning and update validation.
+ */
+class PvDomain
+{
+  public:
+    /**
+     * Create the domain with @p frames machine frames allocated from
+     * the host buddy (Xen's domheap ignores migrate types).
+     */
+    PvDomain(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
+             uint64_t frames, uint16_t domain_id);
+    ~PvDomain();
+
+    PvDomain(const PvDomain &) = delete;
+    PvDomain &operator=(const PvDomain &) = delete;
+
+    /** The machine frames the domain owns -- PV guests know these. */
+    const std::vector<Pfn> &machineFrames() const { return frames; }
+
+    /** True when the domain owns @p frame. */
+    bool owns(Pfn frame) const { return owned.count(frame) != 0; }
+
+    /**
+     * XENMEM_decrease_reservation: return one owned frame to the Xen
+     * heap (free_domheap_pages). The 2016-era release primitive.
+     */
+    base::Status decreaseReservation(Pfn frame);
+
+    /**
+     * Pin an owned frame as a page table of @p level: Xen validates
+     * its current contents (every present entry must point at an
+     * owned frame, PMD entries at pinned PTs) and write-protects it.
+     */
+    base::Status pinPageTable(Pfn frame, PtLevel level);
+
+    /**
+     * mmu_update hypercall: write @p entry into slot @p index of the
+     * pinned table @p table. Xen validates the reference before
+     * writing -- the guest cannot forge mappings *through this path*.
+     */
+    base::Status mmuUpdate(Pfn table, unsigned index, uint64_t entry);
+
+    /**
+     * Direct-paging address resolution through a pinned PMD: walk
+     * PMD[pmd_index] -> PT[pt_index] exactly as the hardware would,
+     * trusting whatever bits are in memory right now (including
+     * Rowhammer-corrupted ones -- there is no re-validation).
+     */
+    base::Expected<Pfn> resolve(Pfn pmd, unsigned pmd_index,
+                                unsigned pt_index) const;
+
+    /** True when @p frame is currently pinned as a page table. */
+    bool
+    isPinned(Pfn frame) const
+    {
+        return pinnedTables.count(frame) != 0;
+    }
+
+    /** Hypercalls rejected by validation (the defence that works). */
+    uint64_t rejectedUpdates() const { return rejected; }
+
+  private:
+    dram::DramSystem &dram;
+    mm::BuddyAllocator &buddy;
+    uint16_t domainId;
+
+    std::vector<Pfn> frames;
+    std::unordered_set<uint64_t> owned;
+    std::unordered_map<uint64_t, PtLevel> pinnedTables;
+    uint64_t rejected = 0;
+
+    bool entryValid(uint64_t entry, PtLevel level) const;
+};
+
+} // namespace hh::xen
+
+#endif // HYPERHAMMER_XEN_PV_DOMAIN_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests of the EPT entry format and the attacker's format heuristic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvm/ept.h"
+
+namespace hh::kvm {
+namespace {
+
+TEST(EptEntry, TableEntry)
+{
+    const EptEntry entry = EptEntry::table(0x1234);
+    EXPECT_TRUE(entry.present());
+    EXPECT_TRUE(entry.readable());
+    EXPECT_TRUE(entry.writable());
+    EXPECT_TRUE(entry.executable());
+    EXPECT_FALSE(entry.largePage());
+    EXPECT_EQ(entry.frame(), 0x1234u);
+}
+
+TEST(EptEntry, Leaf4k)
+{
+    const EptEntry nx = EptEntry::leaf4k(0xabcd, false);
+    EXPECT_TRUE(nx.present());
+    EXPECT_FALSE(nx.executable());
+    EXPECT_EQ(nx.frame(), 0xabcdu);
+    const EptEntry exec = EptEntry::leaf4k(0xabcd, true);
+    EXPECT_TRUE(exec.executable());
+}
+
+TEST(EptEntry, Leaf2m)
+{
+    const EptEntry entry = EptEntry::leaf2m(0x200, false);
+    EXPECT_TRUE(entry.largePage());
+    EXPECT_TRUE(entry.present());
+    EXPECT_FALSE(entry.executable());
+    EXPECT_EQ(entry.frame(), 0x200u);
+}
+
+TEST(EptEntry, WithExecTogglesOnlyBit2)
+{
+    const EptEntry entry = EptEntry::leaf4k(0x77, false);
+    const EptEntry exec = entry.withExec(true);
+    EXPECT_TRUE(exec.executable());
+    EXPECT_EQ(exec.raw() & ~uint64_t{kEptExec},
+              entry.raw() & ~uint64_t{kEptExec});
+    EXPECT_EQ(exec.withExec(false), entry);
+}
+
+TEST(EptEntry, NotPresentWhenPermissionsClear)
+{
+    EXPECT_FALSE(EptEntry(0).present());
+    // Frame bits alone do not make an entry present.
+    EXPECT_FALSE(EptEntry(0x1234ull << 12).present());
+}
+
+TEST(EptIndex, LevelExtraction)
+{
+    // GPA = PML4 index 1, PDPT index 2, PD index 3, PT index 4.
+    const GuestPhysAddr gpa(
+        (1ull << 39) | (2ull << 30) | (3ull << 21) | (4ull << 12));
+    EXPECT_EQ(eptIndex(gpa, 4), 1u);
+    EXPECT_EQ(eptIndex(gpa, 3), 2u);
+    EXPECT_EQ(eptIndex(gpa, 2), 3u);
+    EXPECT_EQ(eptIndex(gpa, 1), 4u);
+}
+
+TEST(EpteHeuristic, AcceptsZeroAndRealEntries)
+{
+    EXPECT_TRUE(wordLooksLikeEpte(0));
+    EXPECT_TRUE(wordLooksLikeEpte(EptEntry::leaf4k(0x5000, true).raw()));
+    EXPECT_TRUE(wordLooksLikeEpte(EptEntry::table(0x9999).raw()));
+}
+
+TEST(EpteHeuristic, RejectsNonEntries)
+{
+    // Low bits set but no frame: small integer.
+    EXPECT_FALSE(wordLooksLikeEpte(7));
+    // Frame but clear low 12 bits: page-aligned pointer, not an EPTE.
+    EXPECT_FALSE(wordLooksLikeEpte(0x1234ull << 12));
+}
+
+} // namespace
+} // namespace hh::kvm

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of guest-side paging: page-table walks through guest memory,
+ * THP policy, and the end-to-end bit-preservation property that makes
+ * the attack's virtual-address reasoning sound (Section 4.1):
+ * GVA bits 0..20 == GPA bits 0..20 == HPA bits 0..20 under double THP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/sim_clock.h"
+#include "dram/dram_system.h"
+#include "mm/buddy_allocator.h"
+#include "vm/guest_paging.h"
+#include "vm/virtual_machine.h"
+
+namespace hh::vm {
+namespace {
+
+class GuestPagingTest : public ::testing::Test
+{
+  protected:
+    GuestPagingTest()
+    {
+        dram::DramConfig dram_cfg;
+        dram_cfg.totalBytes = 512_MiB;
+        dram_cfg.fault.weakCellsPerRow = 0;
+        dram = std::make_unique<dram::DramSystem>(dram_cfg, clock);
+        mm::BuddyConfig buddy_cfg;
+        buddy_cfg.totalPages = 512_MiB / kPageSize;
+        buddy = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
+
+        VmConfig vm_cfg;
+        vm_cfg.bootMemBytes = 16_MiB;
+        vm_cfg.virtioMemRegionSize = 256_MiB;
+        vm_cfg.virtioMemPlugged = 128_MiB;
+        machine = std::make_unique<VirtualMachine>(*dram, *buddy,
+                                                   vm_cfg, 1);
+    }
+
+    /** Table pages live in the top 4 MiB of boot RAM. */
+    std::unique_ptr<GuestPaging>
+    paging(ThpPolicy policy)
+    {
+        return std::make_unique<GuestPaging>(
+            *machine, GuestPhysAddr(12_MiB), 4_MiB, policy);
+    }
+
+    base::SimClock clock;
+    std::unique_ptr<dram::DramSystem> dram;
+    std::unique_ptr<mm::BuddyAllocator> buddy;
+    std::unique_ptr<VirtualMachine> machine;
+};
+
+TEST_F(GuestPagingTest, Map4kTranslateReadWrite)
+{
+    auto mmu = paging(ThpPolicy::Never);
+    const GuestVirtAddr gva(0x7f00'0000'0000ull);
+    const GuestPhysAddr backing = kVirtioMemRegionStart;
+    ASSERT_TRUE(mmu->mapAnonymous(gva, 16 * kPageSize, backing).ok());
+
+    auto gpa = mmu->translate(gva + 5 * kPageSize + 0x123);
+    ASSERT_TRUE(gpa.ok());
+    EXPECT_EQ(gpa->value(),
+              backing.value() + 5 * kPageSize + 0x123);
+
+    ASSERT_TRUE(mmu->write64(gva + 0x10, 0xfeedface).ok());
+    EXPECT_EQ(mmu->read64(gva + 0x10).valueOr(0), 0xfeedfaceu);
+    // Visible at the GPA too (same memory).
+    EXPECT_EQ(machine->read64(backing + 0x10).valueOr(0), 0xfeedfaceu);
+
+    auto huge = mmu->backedByHugePage(gva);
+    ASSERT_TRUE(huge.ok());
+    EXPECT_FALSE(*huge);
+}
+
+TEST_F(GuestPagingTest, ThpAlwaysUsesHugePages)
+{
+    auto mmu = paging(ThpPolicy::Always);
+    const GuestVirtAddr gva(0x7f00'0020'0000ull); // 2 MB aligned
+    ASSERT_TRUE(gva.value() % kHugePageSize == 0);
+    ASSERT_TRUE(
+        mmu->mapAnonymous(gva, 2 * kHugePageSize,
+                          kVirtioMemRegionStart).ok());
+    auto huge = mmu->backedByHugePage(gva);
+    ASSERT_TRUE(huge.ok());
+    EXPECT_TRUE(*huge);
+    // Few table pages: root + PDPT + PD, no PT at all.
+    EXPECT_LE(mmu->tablePagesUsed(), 3u);
+}
+
+TEST_F(GuestPagingTest, MisalignedRangesFallBackTo4k)
+{
+    auto mmu = paging(ThpPolicy::Always);
+    // GVA 2 MB aligned but backing is not: no hugepage possible.
+    const GuestVirtAddr gva(0x7f00'0040'0000ull);
+    ASSERT_TRUE(mmu->mapAnonymous(gva, kHugePageSize,
+                                  kVirtioMemRegionStart + kPageSize)
+                    .ok());
+    auto huge = mmu->backedByHugePage(gva);
+    ASSERT_TRUE(huge.ok());
+    EXPECT_FALSE(*huge);
+    // Translation is still correct page by page.
+    auto gpa = mmu->translate(gva + 7 * kPageSize);
+    ASSERT_TRUE(gpa.ok());
+    EXPECT_EQ(gpa->value(),
+              (kVirtioMemRegionStart + kPageSize + 7 * kPageSize)
+                  .value());
+}
+
+TEST_F(GuestPagingTest, UnmapAndDoubleMap)
+{
+    auto mmu = paging(ThpPolicy::Never);
+    const GuestVirtAddr gva(0x1000'0000ull);
+    ASSERT_TRUE(mmu->mapAnonymous(gva, kPageSize,
+                                  kVirtioMemRegionStart).ok());
+    EXPECT_EQ(mmu->mapAnonymous(gva, kPageSize, kVirtioMemRegionStart)
+                  .error(),
+              base::ErrorCode::Exists);
+    ASSERT_TRUE(mmu->unmap(gva).ok());
+    EXPECT_FALSE(mmu->translate(gva).ok());
+    EXPECT_TRUE(mmu->mapAnonymous(gva, kPageSize,
+                                  kVirtioMemRegionStart).ok());
+}
+
+TEST_F(GuestPagingTest, TranslateUnmappedFails)
+{
+    auto mmu = paging(ThpPolicy::Never);
+    EXPECT_FALSE(mmu->translate(GuestVirtAddr(0xdead'0000ull)).ok());
+    EXPECT_FALSE(mmu->read64(GuestVirtAddr(0xdead'0000ull)).ok());
+}
+
+TEST_F(GuestPagingTest, TableSpaceExhaustion)
+{
+    // A tiny table region cannot map sparse 4 KB pages forever.
+    GuestPaging tiny(*machine, GuestPhysAddr(12_MiB), 4 * kPageSize,
+                     ThpPolicy::Never);
+    base::Status last = base::Status::success();
+    for (uint64_t i = 0; i < 64 && last.ok(); ++i) {
+        last = tiny.mapAnonymous(
+            GuestVirtAddr(1_GiB + i * 1_GiB), kPageSize,
+            kVirtioMemRegionStart);
+    }
+    EXPECT_EQ(last.error(), base::ErrorCode::NoMemory);
+}
+
+TEST_F(GuestPagingTest, WalkChargesGuestMemoryTime)
+{
+    auto mmu = paging(ThpPolicy::Never);
+    const GuestVirtAddr gva(0x2000'0000ull);
+    ASSERT_TRUE(mmu->mapAnonymous(gva, kPageSize,
+                                  kVirtioMemRegionStart).ok());
+    const base::SimTime before = clock.now();
+    (void)mmu->translate(gva);
+    EXPECT_GT(clock.now(), before);
+}
+
+TEST_F(GuestPagingTest, DoubleThpPreservesLow21Bits)
+{
+    // The Section 4.1 property, end to end: GVA -> GPA (guest THP)
+    // -> HPA (host THP) preserves bits 0..20. This is what lets the
+    // attacker compute same-bank relations from virtual addresses.
+    auto mmu = paging(ThpPolicy::Always);
+    const GuestVirtAddr gva(0x7f80'0000'0000ull);
+    const uint64_t bytes = 8 * kHugePageSize;
+    ASSERT_TRUE(
+        mmu->mapAnonymous(gva, bytes, kVirtioMemRegionStart).ok());
+
+    for (uint64_t off = 0; off < bytes; off += 0x1'2345) {
+        const GuestVirtAddr va = gva + off;
+        auto gpa = mmu->translate(va);
+        ASSERT_TRUE(gpa.ok());
+        auto hpa = machine->debugTranslate(*gpa);
+        ASSERT_TRUE(hpa.ok());
+        EXPECT_EQ(va.value() & (kHugePageSize - 1),
+                  gpa->value() & (kHugePageSize - 1));
+        EXPECT_EQ(gpa->value() & (kHugePageSize - 1),
+                  hpa->value() & (kHugePageSize - 1));
+    }
+}
+
+TEST_F(GuestPagingTest, Without4kThpNoPreservation)
+{
+    // Counter-property: with guest THP off, only bits 0..11 survive,
+    // which is why the attack requires THP (Section 4.1).
+    auto mmu = paging(ThpPolicy::Never);
+    const GuestVirtAddr gva(0x7f80'0000'0000ull);
+    // Back a 2 MB-aligned GVA with an intentionally skewed GPA.
+    ASSERT_TRUE(mmu->mapAnonymous(gva, kPageSize,
+                                  kVirtioMemRegionStart
+                                      + 3 * kPageSize).ok());
+    auto gpa = mmu->translate(gva);
+    ASSERT_TRUE(gpa.ok());
+    EXPECT_NE(gva.value() & (kHugePageSize - 1),
+              gpa->value() & (kHugePageSize - 1));
+    EXPECT_EQ(gva.value() & (kPageSize - 1),
+              gpa->value() & (kPageSize - 1));
+}
+
+} // namespace
+} // namespace hh::vm

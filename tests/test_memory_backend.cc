@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the sparse memory backend: fill/override semantics,
+ * bit flips, and the mismatch scanner the profiler relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/memory_backend.h"
+
+namespace hh::dram {
+namespace {
+
+TEST(MemoryBackend, UntouchedReadsZero)
+{
+    MemoryBackend mem(1_MiB);
+    EXPECT_EQ(mem.read64(HostPhysAddr(0)), 0u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(1_MiB - 8)), 0u);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+}
+
+TEST(MemoryBackend, WriteReadRoundTrip)
+{
+    MemoryBackend mem(1_MiB);
+    mem.write64(HostPhysAddr(0x1008), 0xdeadbeef);
+    EXPECT_EQ(mem.read64(HostPhysAddr(0x1008)), 0xdeadbeefu);
+    EXPECT_EQ(mem.read64(HostPhysAddr(0x1000)), 0u);
+    EXPECT_EQ(mem.touchedPages(), 1u);
+}
+
+TEST(MemoryBackend, UnalignedAddressHitsContainingWord)
+{
+    MemoryBackend mem(1_MiB);
+    mem.write64(HostPhysAddr(0x1008), 42);
+    EXPECT_EQ(mem.read64(HostPhysAddr(0x100b)), 42u);
+}
+
+TEST(MemoryBackend, FillPageSetsAllWords)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(3, 0x5555);
+    EXPECT_EQ(mem.read64(HostPhysAddr(3 * kPageSize)), 0x5555u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(3 * kPageSize + 4088)), 0x5555u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(2 * kPageSize)), 0u);
+}
+
+TEST(MemoryBackend, FillZeroReclaimsMetadata)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(1, 0xff);
+    EXPECT_EQ(mem.touchedPages(), 1u);
+    mem.fillPage(1, 0);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(kPageSize)), 0u);
+}
+
+TEST(MemoryBackend, WritingFillValueRemovesOverride)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0xaa);
+    mem.write64(HostPhysAddr(8), 0xbb);
+    EXPECT_EQ(mem.read64(HostPhysAddr(8)), 0xbbu);
+    mem.write64(HostPhysAddr(8), 0xaa);
+    EXPECT_EQ(mem.read64(HostPhysAddr(8)), 0xaau);
+    // The scanner must see a perfectly uniform page again.
+    EXPECT_TRUE(mem.mismatchedWords(0, 0xaa).empty());
+}
+
+TEST(MemoryBackend, FlipBit)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0);
+    EXPECT_EQ(mem.flipBit(HostPhysAddr(16), 5), 32u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(16)), 32u);
+    EXPECT_EQ(mem.flipBit(HostPhysAddr(16), 5), 0u);
+}
+
+TEST(MemoryBackend, ClearPage)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(2, 0x77);
+    mem.clearPage(2);
+    EXPECT_EQ(mem.read64(HostPhysAddr(2 * kPageSize)), 0u);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+}
+
+TEST(MemoryBackend, MismatchAbsentPageExpectedZero)
+{
+    MemoryBackend mem(1_MiB);
+    EXPECT_TRUE(mem.mismatchedWords(0, 0).empty());
+}
+
+TEST(MemoryBackend, MismatchAbsentPageExpectedNonZero)
+{
+    MemoryBackend mem(1_MiB);
+    const auto words = mem.mismatchedWords(0, 0xff);
+    EXPECT_EQ(words.size(), kPageSize / 8);
+}
+
+TEST(MemoryBackend, MismatchFillMatchesWithOverrides)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0xff);
+    mem.write64(HostPhysAddr(24), 1);     // word 3
+    mem.write64(HostPhysAddr(4000), 2);   // word 500
+    const auto words = mem.mismatchedWords(0, 0xff);
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], 3u);
+    EXPECT_EQ(words[1], 500u);
+}
+
+TEST(MemoryBackend, MismatchFillDiffers)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0xff);
+    // Override one word back to the expected value.
+    mem.write64(HostPhysAddr(64), 0xee);
+    const auto words = mem.mismatchedWords(0, 0xee);
+    // Everything mismatches except word 8.
+    EXPECT_EQ(words.size(), kPageSize / 8 - 1);
+    for (uint16_t w : words)
+        EXPECT_NE(w, 8u);
+}
+
+TEST(MemoryBackend, ContainsBounds)
+{
+    MemoryBackend mem(1_MiB);
+    EXPECT_TRUE(mem.contains(HostPhysAddr(0)));
+    EXPECT_TRUE(mem.contains(HostPhysAddr(1_MiB - 1)));
+    EXPECT_FALSE(mem.contains(HostPhysAddr(1_MiB)));
+}
+
+TEST(MemoryBackendDeath, OutOfRangeReadPanics)
+{
+    MemoryBackend mem(1_MiB);
+    EXPECT_DEATH((void)mem.read64(HostPhysAddr(2_MiB)), "assertion");
+}
+
+TEST(MemoryBackend, ManyOverridesStaySorted)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0);
+    // Write in reverse order; reads must still resolve correctly.
+    for (int w = 511; w >= 0; --w)
+        mem.write64(HostPhysAddr(static_cast<uint64_t>(w) * 8),
+                    static_cast<uint64_t>(w) + 1);
+    for (int w = 0; w < 512; ++w)
+        EXPECT_EQ(mem.read64(HostPhysAddr(static_cast<uint64_t>(w) * 8)),
+                  static_cast<uint64_t>(w) + 1);
+    EXPECT_EQ(mem.mismatchedWords(0, 0).size(), 512u);
+}
+
+} // namespace
+} // namespace hh::dram

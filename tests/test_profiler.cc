@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests of the memory profiler (Section 4.1): aggressor-pair
+ * construction from THP-visible bits, ground-truth agreement of the
+ * discovered bits, classification quality, early exit, and the
+ * brute-force fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "attack/profiler.h"
+#include "sys/host_system.h"
+
+namespace hh::attack {
+namespace {
+
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void
+    boot(uint64_t seed = 42, double density_scale = 1.0)
+    {
+        sys::SystemConfig cfg =
+            sys::SystemConfig::s1(seed).withMemory(1_GiB);
+        cfg.dram.fault.weakCellsPerRow *= density_scale;
+        machine.reset(); // references the old host; drop it first
+        host = std::make_unique<sys::HostSystem>(cfg);
+        vm::VmConfig vm_cfg;
+        vm_cfg.bootMemBytes = 64_MiB;
+        vm_cfg.virtioMemRegionSize = 1_GiB;
+        vm_cfg.virtioMemPlugged = 640_MiB;
+        machine = host->createVm(vm_cfg);
+    }
+
+    std::vector<GuestPhysAddr>
+    region() const
+    {
+        std::vector<GuestPhysAddr> out;
+        for (GuestPhysAddr hp : machine->hugePageGpas()) {
+            if (machine->memDevice_().contains(hp))
+                out.push_back(hp);
+        }
+        return out;
+    }
+
+    std::unique_ptr<sys::HostSystem> host;
+    std::unique_ptr<vm::VirtualMachine> machine;
+};
+
+TEST_F(ProfilerTest, AggressorPairsShareABank)
+{
+    boot();
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), ProfilerConfig{});
+    const GuestPhysAddr hp = region().front();
+    const auto candidates = profiler.aggressorCandidates(hp, false);
+    // One pair per bank label.
+    EXPECT_EQ(candidates.size(), host->dram().mapping().bankCount());
+
+    const dram::AddressMapping &map = host->dram().mapping();
+    std::set<dram::BankId> banks;
+    for (const auto &pair : candidates) {
+        ASSERT_EQ(pair.size(), 2u);
+        // Translate both: the pair must land in the same REAL bank,
+        // in adjacent rows.
+        auto a = machine->debugTranslate(pair[0]);
+        auto b = machine->debugTranslate(pair[1]);
+        ASSERT_TRUE(a.ok() && b.ok());
+        EXPECT_EQ(map.bankOf(*a), map.bankOf(*b));
+        EXPECT_EQ(map.rowOf(*a) + 1, map.rowOf(*b));
+        banks.insert(map.bankOf(*a));
+    }
+    // All banks are covered.
+    EXPECT_EQ(banks.size(), map.bankCount());
+}
+
+TEST_F(ProfilerTest, TopBorderPairsUseLastRows)
+{
+    boot();
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), ProfilerConfig{});
+    const GuestPhysAddr hp = region().front();
+    const dram::AddressMapping &map = host->dram().mapping();
+    for (const auto &pair : profiler.aggressorCandidates(hp, true)) {
+        auto a = machine->debugTranslate(pair[0]);
+        ASSERT_TRUE(a.ok());
+        // Local row 6 of 8.
+        EXPECT_EQ((a->hugePageOffset()) / map.rowStripeBytes(), 6u);
+    }
+}
+
+TEST_F(ProfilerTest, BruteForceEnumeratesPagePairs)
+{
+    boot();
+    ProfilerConfig cfg;
+    cfg.bankFunctionKnown = false;
+    cfg.bruteForcePairCap = 256;
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), cfg);
+    const auto candidates =
+        profiler.aggressorCandidates(region().front(), false);
+    EXPECT_EQ(candidates.size(), 256u);
+}
+
+TEST_F(ProfilerTest, FindsGroundTruthBits)
+{
+    boot(42, /*density_scale=*/4.0);
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), ProfilerConfig{});
+    const ProfileResult result = profiler.profile(region());
+    ASSERT_GT(result.totalFlips(), 10u);
+
+    const dram::FaultModel &truth = host->dram().faultModel();
+    const dram::AddressMapping &map = host->dram().mapping();
+    for (const VulnerableBit &bit : result.bits) {
+        auto hpa = machine->debugTranslate(bit.wordGpa);
+        ASSERT_TRUE(hpa.ok());
+        bool matched = false;
+        for (const dram::WeakCell &cell : truth.weakCellsInRow(
+                 map.bankOf(*hpa), map.rowOf(*hpa))) {
+            if (cell.bitInWord() == bit.bitInWord
+                && cell.direction == bit.direction) {
+                matched = true;
+            }
+        }
+        EXPECT_TRUE(matched) << "profiled bit has no ground truth";
+        // Bookkeeping invariants.
+        EXPECT_EQ(bit.victimHugePage.value(),
+                  bit.wordGpa.hugePageBase().value());
+        EXPECT_EQ(bit.exploitable,
+                  bit.bitInWord >= 20 && bit.bitInWord <= 30)
+            << "1 GiB host: exploitable range is 20..30";
+        EXPECT_EQ(bit.releasable,
+                  bit.victimHugePage != bit.aggressorHugePage);
+        EXPECT_EQ(bit.aggressors.size(), 2u);
+    }
+
+    // Both directions appear, and time passed.
+    EXPECT_GT(result.countOneToZero(), 0u);
+    EXPECT_GT(result.countZeroToOne(), 0u);
+    EXPECT_GT(result.elapsed, base::kMinute);
+    EXPECT_GT(result.combinations, 1'000u);
+}
+
+TEST_F(ProfilerTest, RepairsPatternAfterDetection)
+{
+    boot(42, 4.0);
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), ProfilerConfig{});
+    const ProfileResult result = profiler.profile(region());
+    ASSERT_GT(result.totalFlips(), 0u);
+    // After profiling the region was last filled with zeros (second
+    // pass); every discovered word was repaired to the pass pattern,
+    // so re-reading gives the pattern unless re-flipped... stability
+    // retests end by restoring the fill, so the word reads clean.
+    for (const VulnerableBit &bit : result.bits) {
+        if (bit.direction == dram::FlipDirection::ZeroToOne) {
+            auto value = machine->read64(bit.wordGpa);
+            ASSERT_TRUE(value.ok());
+            EXPECT_EQ(*value, 0u);
+        }
+    }
+}
+
+TEST_F(ProfilerTest, StabilityClassificationMatchesTruth)
+{
+    boot(42, 4.0);
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), ProfilerConfig{});
+    const ProfileResult result = profiler.profile(region());
+    const dram::FaultModel &truth = host->dram().faultModel();
+    const dram::AddressMapping &map = host->dram().mapping();
+
+    unsigned classified_stable_truth_stable = 0;
+    unsigned classified_stable = 0;
+    for (const VulnerableBit &bit : result.bits) {
+        if (!bit.stable)
+            continue;
+        ++classified_stable;
+        auto hpa = machine->debugTranslate(bit.wordGpa);
+        for (const dram::WeakCell &cell : truth.weakCellsInRow(
+                 map.bankOf(*hpa), map.rowOf(*hpa))) {
+            if (cell.bitInWord() == bit.bitInWord && cell.stable())
+                ++classified_stable_truth_stable;
+        }
+    }
+    ASSERT_GT(classified_stable, 5u);
+    // An unstable cell sneaks through three retests ~4 % of the time.
+    EXPECT_GE(classified_stable_truth_stable,
+              classified_stable * 80 / 100);
+}
+
+TEST_F(ProfilerTest, EarlyStopAfterEnoughUsableBits)
+{
+    boot(42, 4.0);
+    ProfilerConfig cfg;
+    cfg.stopAfterExploitable = 2;
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), cfg);
+    ProfilerConfig full_cfg;
+    MemoryProfiler full(*machine, host->clock(),
+                        host->dram().mapping(), full_cfg);
+
+    const ProfileResult early = profiler.profile(region());
+    unsigned usable = 0;
+    for (const VulnerableBit &bit : early.bits)
+        usable += bit.exploitable && bit.releasable;
+    EXPECT_GE(usable, 2u);
+
+    const ProfileResult complete = full.profile(region());
+    EXPECT_LT(early.combinations, complete.combinations);
+    EXPECT_LT(early.elapsed, complete.elapsed);
+}
+
+TEST_F(ProfilerTest, ExploitHiBitDerivedFromHostMemory)
+{
+    boot();
+    ProfilerConfig cfg; // exploitHiBit = 0 -> auto
+    MemoryProfiler profiler(*machine, host->clock(),
+                            host->dram().mapping(), cfg);
+    // 1 GiB host: ceil(log2) - 1 = 29. Checked indirectly through
+    // FindsGroundTruthBits; here just ensure construction works and
+    // profiles run.
+    SUCCEED();
+}
+
+TEST_F(ProfilerTest, DeterministicAcrossRuns)
+{
+    boot(1234, 4.0);
+    ProfilerConfig cfg;
+    MemoryProfiler a(*machine, host->clock(), host->dram().mapping(),
+                     cfg);
+    const ProfileResult first = a.profile(region());
+
+    // Reboot an identical world and profile again.
+    boot(1234, 4.0);
+    MemoryProfiler b(*machine, host->clock(), host->dram().mapping(),
+                     cfg);
+    const ProfileResult second = b.profile(region());
+
+    EXPECT_EQ(first.totalFlips(), second.totalFlips());
+    EXPECT_EQ(first.countStable(), second.countStable());
+    EXPECT_EQ(first.countExploitable(), second.countExploitable());
+}
+
+} // namespace
+} // namespace hh::attack

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Cross-module property sweeps: determinism of the whole DRAM path,
+ * profiler correctness on both CPU presets, EPT translation
+ * roundtrips under random mapping mixes, virtio-mem accounting under
+ * repeated resize cycles, and steering under S3's background churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hyperhammer/hyperhammer.h"
+
+namespace hh {
+namespace {
+
+TEST(Determinism, DramSystemsWithSameSeedAgree)
+{
+    const auto run = [](uint64_t seed) {
+        base::SimClock clock;
+        dram::DramConfig cfg;
+        cfg.totalBytes = 256_MiB;
+        cfg.seed = seed;
+        cfg.fault.weakCellsPerRow = 0.02;
+        dram::DramSystem dram(cfg, clock);
+        const dram::AddressMapping &map = dram.mapping();
+        std::vector<uint64_t> trace;
+        for (dram::RowId row = 1; row < 200; row += 3) {
+            const dram::BankId cls0 = 0u ^ map.rowClass(row);
+            const dram::BankId cls1 = 0u ^ map.rowClass(row + 1);
+            const uint64_t stripe =
+                static_cast<uint64_t>(row) << map.rowLoBit();
+            for (uint64_t off = 0; off < map.rowStripeBytes() * 3;
+                 off += kPageSize) {
+                dram.backend().fillPage((stripe + off) / kPageSize,
+                                        ~0ull);
+            }
+            const HostPhysAddr a(
+                stripe
+                | (static_cast<uint64_t>(map.classOffsets(cls0)[0])
+                   << map.interleaveShift()));
+            const HostPhysAddr b(
+                (stripe + map.rowStripeBytes())
+                | (static_cast<uint64_t>(map.classOffsets(cls1)[0])
+                   << map.interleaveShift()));
+            for (const auto &event : dram.hammer({a, b}, 200'000))
+                trace.push_back(event.bitAddr());
+        }
+        return trace;
+    };
+    EXPECT_EQ(run(99), run(99));
+    EXPECT_NE(run(99), run(100));
+}
+
+/** Profiler correctness on both evaluation CPUs' mappings. */
+class ProfilerPresetSweep
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ProfilerPresetSweep, PairsShareBanksOnThisPreset)
+{
+    const std::string name = GetParam();
+    sys::SystemConfig cfg = name == "s2"
+        ? sys::SystemConfig::s2(5).withMemory(1_GiB)
+        : sys::SystemConfig::s1(5).withMemory(1_GiB);
+    sys::HostSystem host(cfg);
+    vm::VmConfig vm_cfg;
+    vm_cfg.bootMemBytes = 64_MiB;
+    vm_cfg.virtioMemRegionSize = 1_GiB;
+    vm_cfg.virtioMemPlugged = 256_MiB;
+    auto machine = host.createVm(vm_cfg);
+
+    attack::MemoryProfiler profiler(*machine, host.clock(),
+                                    host.dram().mapping(),
+                                    attack::ProfilerConfig{});
+    const dram::AddressMapping &map = host.dram().mapping();
+    for (bool top : {false, true}) {
+        for (const auto &pair : profiler.aggressorCandidates(
+                 machine->memDevice_().subBlockGpa(3), top)) {
+            auto a = machine->debugTranslate(pair[0]);
+            auto b = machine->debugTranslate(pair[1]);
+            ASSERT_TRUE(a.ok() && b.ok());
+            EXPECT_EQ(map.bankOf(*a), map.bankOf(*b));
+            EXPECT_EQ(map.rowOf(*a) + 1, map.rowOf(*b));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, ProfilerPresetSweep,
+                         ::testing::Values("s1", "s2"));
+
+TEST(EptRoundTrip, RandomMappingMix)
+{
+    base::SimClock clock;
+    dram::DramConfig dram_cfg;
+    dram_cfg.totalBytes = 512_MiB;
+    dram_cfg.fault.weakCellsPerRow = 0;
+    dram::DramSystem dram(dram_cfg, clock);
+    mm::BuddyConfig buddy_cfg;
+    buddy_cfg.totalPages = 512_MiB / kPageSize;
+    mm::BuddyAllocator buddy(buddy_cfg);
+    kvm::Mmu mmu(dram, buddy, kvm::MmuConfig{}, 1);
+
+    base::Rng rng(17);
+    struct Mapping
+    {
+        GuestPhysAddr gpa;
+        HostPhysAddr hpa;
+        bool huge;
+    };
+    std::vector<Mapping> mappings;
+    for (int i = 0; i < 300; ++i) {
+        const bool huge = rng.chance(0.4);
+        if (huge) {
+            auto block = buddy.allocPages(9, mm::MigrateType::Movable,
+                                          mm::PageUse::GuestMemory, 1);
+            ASSERT_TRUE(block.ok());
+            const GuestPhysAddr gpa(
+                rng.below(1u << 12) * kHugePageSize + 64_GiB);
+            const HostPhysAddr hpa(*block * kPageSize);
+            if (mmu.map2m(gpa, hpa).ok())
+                mappings.push_back({gpa, hpa, true});
+            else
+                buddy.freePages(*block, 9);
+        } else {
+            auto page = buddy.allocPages(0, mm::MigrateType::Movable,
+                                         mm::PageUse::GuestMemory, 1);
+            ASSERT_TRUE(page.ok());
+            const GuestPhysAddr gpa(rng.below(1u << 20) * kPageSize);
+            const HostPhysAddr hpa(*page * kPageSize);
+            if (mmu.map4k(gpa, hpa, rng.chance(0.5)).ok())
+                mappings.push_back({gpa, hpa, false});
+            else
+                buddy.freePages(*page, 0);
+        }
+    }
+    ASSERT_GT(mappings.size(), 200u);
+    for (const Mapping &m : mappings) {
+        const uint64_t span = m.huge ? kHugePageSize : kPageSize;
+        const uint64_t offset = rng.below(span / 8) * 8;
+        auto hpa = mmu.translate(m.gpa + offset);
+        ASSERT_TRUE(hpa.ok());
+        EXPECT_EQ(hpa->value(), m.hpa.value() + offset);
+    }
+}
+
+TEST(VirtioMemCycles, RepeatedResizeKeepsAccountingExact)
+{
+    base::SimClock clock;
+    dram::DramConfig dram_cfg;
+    dram_cfg.totalBytes = 512_MiB;
+    dram_cfg.fault.weakCellsPerRow = 0;
+    dram::DramSystem dram(dram_cfg, clock);
+    mm::BuddyConfig buddy_cfg;
+    buddy_cfg.totalPages = 512_MiB / kPageSize;
+    mm::BuddyAllocator buddy(buddy_cfg);
+
+    buddy.drainPcp();
+    const uint64_t free_at_start = buddy.freePages();
+    {
+        vm::VmConfig cfg;
+        cfg.bootMemBytes = 16_MiB;
+        cfg.virtioMemRegionSize = 256_MiB;
+        cfg.virtioMemPlugged = 64_MiB;
+        vm::VirtualMachine machine(dram, buddy, cfg, 1);
+        auto &device = machine.memDevice_();
+        vm::VirtualMachine *vm_ptr = &machine;
+
+        base::Rng rng(23);
+        for (int cycle = 0; cycle < 40; ++cycle) {
+            const uint64_t target =
+                (8 + rng.below(120)) * kHugePageSize;
+            device.setRequestedSize(target);
+            machine.memDriver().converge();
+            EXPECT_EQ(device.pluggedSize(), target);
+            EXPECT_EQ(vm_ptr->memorySize(), 16_MiB + target);
+            // Accounting: free + VM-held is conserved.
+            const uint64_t held = (16_MiB + target) / kPageSize;
+            EXPECT_GE(buddy.freePages() + held
+                          + buddy.pcpCount() * 0,
+                      free_at_start - 2'000); // tables + metadata
+        }
+    }
+    buddy.drainPcp();
+    EXPECT_EQ(buddy.freePages(), free_at_start);
+}
+
+TEST(ChurnResilience, SteeringWorksOnS3)
+{
+    // S3's background churn keeps regenerating noise pages while the
+    // attack runs (Figure 3(b)); steering must still place EPT pages
+    // on the released block when the spray is large enough.
+    sys::HostSystem host(
+        sys::SystemConfig::s3(31).withMemory(4_GiB));
+    vm::VmConfig vm_cfg;
+    vm_cfg.bootMemBytes = 256_MiB;
+    vm_cfg.virtioMemRegionSize = 4_GiB;
+    vm_cfg.virtioMemPlugged = 2_GiB + 768_MiB;
+    auto machine = host.createVm(vm_cfg);
+
+    attack::SteeringConfig steer_cfg;
+    steer_cfg.exhaustMappings = 20'000;
+    attack::PageSteering steering(*machine, host.clock(), steer_cfg);
+    steering.exhaustNoisePages();
+    for (int tick = 0; tick < 30; ++tick)
+        host.noiseTick();
+
+    machine->memDriver().setSuppressAutoPlug(true);
+    auto &device = machine->memDevice_();
+    const GuestPhysAddr victim = device.subBlockGpa(100);
+    auto victim_hpa = machine->debugTranslate(victim);
+    ASSERT_TRUE(victim_hpa.ok());
+    ASSERT_TRUE(machine->memDriver().unplugSpecific(victim).ok());
+    steering.sprayEptes(machine->memorySize(), {victim.value()});
+
+    uint64_t consumed = 0;
+    for (uint64_t i = 0; i < kPagesPerHugePage; ++i) {
+        const mm::PageFrame &frame =
+            host.buddy().frame(victim_hpa->pfn() + i);
+        if (!frame.free)
+            ++consumed;
+    }
+    EXPECT_GT(consumed, 300u)
+        << "churn prevented the spray from reaching the block";
+}
+
+TEST(WriteFault, HandlerInvokedOnProtectedPage)
+{
+    base::SimClock clock;
+    dram::DramConfig dram_cfg;
+    dram_cfg.totalBytes = 256_MiB;
+    dram_cfg.fault.weakCellsPerRow = 0;
+    dram::DramSystem dram(dram_cfg, clock);
+    mm::BuddyConfig buddy_cfg;
+    buddy_cfg.totalPages = 256_MiB / kPageSize;
+    mm::BuddyAllocator buddy(buddy_cfg);
+    vm::VmConfig cfg;
+    cfg.bootMemBytes = 16_MiB;
+    cfg.virtioMemRegionSize = 64_MiB;
+    cfg.virtioMemPlugged = 32_MiB;
+    vm::VirtualMachine machine(dram, buddy, cfg, 1);
+
+    const GuestPhysAddr page = vm::kVirtioMemRegionStart;
+    ASSERT_TRUE(machine.mmu().splitHugePage(page).ok());
+    ASSERT_TRUE(machine.mmu().setLeafWritable(page, false).ok());
+
+    // Without a handler, the write is denied.
+    EXPECT_EQ(machine.write64(page, 1).error(),
+              base::ErrorCode::Denied);
+
+    // The handler can repair (here: just re-enable the write).
+    unsigned faults = 0;
+    machine.setWriteFaultHandler(
+        [&faults](vm::VirtualMachine &vm_ref, GuestPhysAddr gpa) {
+            ++faults;
+            return vm_ref.mmu().setLeafWritable(gpa, true);
+        });
+    EXPECT_TRUE(machine.write64(page, 2).ok());
+    EXPECT_EQ(faults, 1u);
+    EXPECT_EQ(machine.read64(page).valueOr(0), 2u);
+    // Subsequent writes need no fault.
+    EXPECT_TRUE(machine.write64(page, 3).ok());
+    EXPECT_EQ(faults, 1u);
+}
+
+} // namespace
+} // namespace hh

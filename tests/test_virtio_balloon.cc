@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests of the virtio-balloon variant (Section 6): page-granular
+ * release, movable free type, and the THP split requirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/sim_clock.h"
+#include "dram/dram_system.h"
+#include "kvm/mmu.h"
+#include "mm/buddy_allocator.h"
+#include "virtio/virtio_balloon.h"
+
+namespace hh::virtio {
+namespace {
+
+class BalloonTest : public ::testing::Test
+{
+  protected:
+    BalloonTest()
+    {
+        dram::DramConfig dram_cfg;
+        dram_cfg.totalBytes = 256_MiB;
+        dram_cfg.fault.weakCellsPerRow = 0;
+        dram = std::make_unique<dram::DramSystem>(dram_cfg, clock);
+        mm::BuddyConfig buddy_cfg;
+        buddy_cfg.totalPages = 256_MiB / kPageSize;
+        buddy_cfg.pcp.highWatermark = 0;
+        buddy = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
+        mmu = std::make_unique<kvm::Mmu>(*dram, *buddy, kvm::MmuConfig{},
+                                         1);
+        balloon = std::make_unique<VirtioBalloonDevice>(*dram, *buddy,
+                                                        *mmu, 1);
+    }
+
+    /** Map a 2 MB guest range and return its GPA. */
+    GuestPhysAddr
+    mapHugeRange()
+    {
+        auto block = buddy->allocPages(9, mm::MigrateType::Movable,
+                                       mm::PageUse::GuestMemory, 1);
+        EXPECT_TRUE(block.ok());
+        const GuestPhysAddr gpa(nextGpa);
+        nextGpa += kHugePageSize;
+        EXPECT_TRUE(
+            mmu->map2m(gpa, HostPhysAddr(*block * kPageSize)).ok());
+        return gpa;
+    }
+
+    base::SimClock clock;
+    std::unique_ptr<dram::DramSystem> dram;
+    std::unique_ptr<mm::BuddyAllocator> buddy;
+    std::unique_ptr<kvm::Mmu> mmu;
+    std::unique_ptr<VirtioBalloonDevice> balloon;
+    uint64_t nextGpa = 0;
+};
+
+TEST_F(BalloonTest, InflateRejectsHugePageLeaf)
+{
+    const GuestPhysAddr gpa = mapHugeRange();
+    EXPECT_EQ(balloon->inflatePage(gpa).error(),
+              base::ErrorCode::InvalidArgument);
+}
+
+TEST_F(BalloonTest, InflateAfterDemotionFreesMovableOrder0)
+{
+    const GuestPhysAddr gpa = mapHugeRange();
+    // THP split (here via the exec-demotion path).
+    ASSERT_TRUE(mmu->access(gpa, kvm::Access::Exec).status.ok());
+
+    auto hpa = mmu->translate(gpa);
+    ASSERT_TRUE(hpa.ok());
+    const Pfn frame = hpa->pfn();
+
+    const auto info_before = buddy->pageTypeInfo();
+    ASSERT_TRUE(balloon->inflatePage(gpa).ok());
+    EXPECT_EQ(balloon->inflatedCount(), 1u);
+    // Mapping gone, backing free as order-0 MOVABLE (no VFIO in the
+    // balloon scenario, Section 6).
+    EXPECT_FALSE(mmu->translate(gpa).ok());
+    EXPECT_TRUE(buddy->frame(frame).free);
+    EXPECT_EQ(buddy->frame(frame).migrateType,
+              mm::MigrateType::Movable);
+    const auto info_after = buddy->pageTypeInfo();
+    EXPECT_GT(info_after.pagesBelowOrder(mm::MigrateType::Movable, 9),
+              info_before.pagesBelowOrder(mm::MigrateType::Movable, 9));
+}
+
+TEST_F(BalloonTest, DoubleInflateRejected)
+{
+    const GuestPhysAddr gpa = mapHugeRange();
+    ASSERT_TRUE(mmu->access(gpa, kvm::Access::Exec).status.ok());
+    ASSERT_TRUE(balloon->inflatePage(gpa).ok());
+    EXPECT_EQ(balloon->inflatePage(gpa).error(),
+              base::ErrorCode::Exists);
+}
+
+TEST_F(BalloonTest, DeflateRestoresMapping)
+{
+    const GuestPhysAddr gpa = mapHugeRange();
+    ASSERT_TRUE(mmu->access(gpa, kvm::Access::Exec).status.ok());
+    ASSERT_TRUE(balloon->inflatePage(gpa).ok());
+    ASSERT_TRUE(balloon->deflatePage(gpa).ok());
+    EXPECT_EQ(balloon->inflatedCount(), 0u);
+    EXPECT_TRUE(mmu->translate(gpa).ok());
+}
+
+TEST_F(BalloonTest, DeflateWithoutInflateRejected)
+{
+    EXPECT_EQ(balloon->deflatePage(GuestPhysAddr(0)).error(),
+              base::ErrorCode::NotFound);
+}
+
+TEST_F(BalloonTest, InflateUnmappedRejected)
+{
+    EXPECT_FALSE(balloon->inflatePage(GuestPhysAddr(64_GiB)).ok());
+}
+
+} // namespace
+} // namespace hh::virtio

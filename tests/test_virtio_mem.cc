@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests of the virtio-mem device/driver: plug/unplug mechanics, the
+ * order-9 unmovable release path, the lack-of-enforcement the attack
+ * abuses, the quarantine countermeasure, and the benign retry pattern
+ * that breaks naive quarantining (Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/sim_clock.h"
+#include "dram/dram_system.h"
+#include "iommu/viommu.h"
+#include "kvm/mmu.h"
+#include "mm/buddy_allocator.h"
+#include "virtio/virtio_mem.h"
+
+namespace hh::virtio {
+namespace {
+
+class VirtioMemTest : public ::testing::Test
+{
+  protected:
+    VirtioMemTest()
+    {
+        dram::DramConfig dram_cfg;
+        dram_cfg.totalBytes = 512_MiB;
+        dram_cfg.fault.weakCellsPerRow = 0;
+        dram = std::make_unique<dram::DramSystem>(dram_cfg, clock);
+        mm::BuddyConfig buddy_cfg;
+        buddy_cfg.totalPages = 512_MiB / kPageSize;
+        buddy = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
+        mmu = std::make_unique<kvm::Mmu>(*dram, *buddy, kvm::MmuConfig{},
+                                         1);
+        vfio = std::make_unique<iommu::VfioContainer>(
+            *dram, *buddy, iommu::IommuConfig{}, 1);
+    }
+
+    VirtioMemConfig
+    config(uint64_t plugged = 64_MiB, bool quarantine = false)
+    {
+        VirtioMemConfig cfg;
+        cfg.regionStart = GuestPhysAddr(4_GiB);
+        cfg.regionSize = 128_MiB;
+        cfg.initialPlugged = plugged;
+        cfg.quarantine.enabled = quarantine;
+        return cfg;
+    }
+
+    base::SimClock clock;
+    std::unique_ptr<dram::DramSystem> dram;
+    std::unique_ptr<mm::BuddyAllocator> buddy;
+    std::unique_ptr<kvm::Mmu> mmu;
+    std::unique_ptr<iommu::VfioContainer> vfio;
+};
+
+TEST_F(VirtioMemTest, InitialPlugMapsAndPins)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    EXPECT_EQ(device.pluggedSize(), 64_MiB);
+    EXPECT_EQ(device.subBlockCount(), 64u);
+    EXPECT_TRUE(device.isPlugged(0));
+    EXPECT_FALSE(device.isPlugged(63));
+
+    // Every plugged sub-block translates to a pinned 2 MB host block.
+    for (SubBlockId sb = 0; sb < 32; ++sb) {
+        auto hpa = mmu->translate(device.subBlockGpa(sb));
+        ASSERT_TRUE(hpa.ok());
+        EXPECT_TRUE(hpa->hugePageAligned());
+        EXPECT_TRUE(buddy->frame(hpa->pfn()).pinned);
+    }
+}
+
+TEST_F(VirtioMemTest, UnplugReleasesOrder9Unmovable)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    const SubBlockId sb = 5;
+    auto hpa = mmu->translate(device.subBlockGpa(sb));
+    ASSERT_TRUE(hpa.ok());
+    const Pfn block = hpa->pfn();
+
+    const auto info_before = buddy->pageTypeInfo();
+    ASSERT_TRUE(device.requestUnplug(sb).ok());
+    EXPECT_FALSE(device.isPlugged(sb));
+    EXPECT_EQ(device.pluggedSize(), 64_MiB - kHugePageSize);
+
+    // The EPT mapping is gone.
+    EXPECT_FALSE(mmu->translate(device.subBlockGpa(sb)).ok());
+    // The backing is free, unpinned, unmovable, order >= 9.
+    EXPECT_TRUE(buddy->frame(block).free);
+    EXPECT_FALSE(buddy->frame(block).pinned);
+    EXPECT_EQ(buddy->frame(block).migrateType,
+              mm::MigrateType::Unmovable);
+    const auto info_after = buddy->pageTypeInfo();
+    uint64_t big_unmovable_before = 0;
+    uint64_t big_unmovable_after = 0;
+    for (unsigned order = 9; order < mm::kMaxOrder; ++order) {
+        big_unmovable_before += info_before.blockCount(
+            mm::MigrateType::Unmovable, order);
+        big_unmovable_after += info_after.blockCount(
+            mm::MigrateType::Unmovable, order);
+    }
+    EXPECT_GT(big_unmovable_after, big_unmovable_before);
+    // The release is logged (the paper's PFN log hook).
+    ASSERT_EQ(device.stats().releasedBlockPfns.size(), 1u);
+    EXPECT_EQ(device.stats().releasedBlockPfns[0], block);
+}
+
+TEST_F(VirtioMemTest, VoluntaryUnplugWithoutRequestSucceeds)
+{
+    // The core lack-of-enforcement: T == plugged, yet the device
+    // accepts an unplug (no quarantine).
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    EXPECT_EQ(device.requestedSize(), device.pluggedSize());
+    EXPECT_TRUE(device.requestUnplug(3).ok());
+}
+
+TEST_F(VirtioMemTest, PlugAndUnplugValidation)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    EXPECT_EQ(device.requestPlug(0).error(), base::ErrorCode::Exists);
+    EXPECT_EQ(device.requestUnplug(63).error(),
+              base::ErrorCode::NotFound);
+    EXPECT_EQ(device.requestPlug(1'000).error(),
+              base::ErrorCode::InvalidArgument);
+    EXPECT_TRUE(device.requestPlug(40).ok());
+    EXPECT_TRUE(device.isPlugged(40));
+}
+
+TEST_F(VirtioMemTest, DriverConvergesUpAndDown)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    VirtioMemDriver driver(device);
+
+    device.setRequestedSize(80_MiB);
+    EXPECT_GT(driver.converge(), 0u);
+    EXPECT_EQ(device.pluggedSize(), 80_MiB);
+
+    device.setRequestedSize(32_MiB);
+    EXPECT_GT(driver.converge(), 0u);
+    EXPECT_EQ(device.pluggedSize(), 32_MiB);
+}
+
+TEST_F(VirtioMemTest, SuppressAutoPlugKeepsPagesReleased)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    VirtioMemDriver driver(device);
+    driver.setSuppressAutoPlug(true);
+
+    const GuestPhysAddr victim = device.subBlockGpa(7);
+    ASSERT_TRUE(driver.unplugSpecific(victim).ok());
+    EXPECT_EQ(device.pluggedSize(), 64_MiB - kHugePageSize);
+    // The stock driver would immediately re-plug (plugged < target);
+    // the attacker modification keeps the gap open.
+    EXPECT_EQ(driver.converge(), 0u);
+    EXPECT_EQ(device.pluggedSize(), 64_MiB - kHugePageSize);
+
+    // Without suppression the driver re-acquires the memory.
+    driver.setSuppressAutoPlug(false);
+    EXPECT_GT(driver.converge(), 0u);
+    EXPECT_EQ(device.pluggedSize(), 64_MiB);
+}
+
+TEST_F(VirtioMemTest, UnplugSpecificOutsideRegionRejected)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    VirtioMemDriver driver(device);
+    EXPECT_EQ(driver.unplugSpecific(GuestPhysAddr(0)).error(),
+              base::ErrorCode::InvalidArgument);
+}
+
+TEST_F(VirtioMemTest, QuarantineBlocksVoluntaryUnplug)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(),
+                           config(64_MiB, /*quarantine=*/true), 1);
+    VirtioMemDriver driver(device);
+    driver.setSuppressAutoPlug(true);
+    // plugged == requested: any unplug moves away from the target.
+    const base::Status status =
+        driver.unplugSpecific(device.subBlockGpa(2));
+    EXPECT_EQ(status.error(), base::ErrorCode::Denied);
+    EXPECT_EQ(device.pluggedSize(), 64_MiB);
+    EXPECT_EQ(device.stats().nackedRequests, 1u);
+}
+
+TEST_F(VirtioMemTest, QuarantineAllowsLegitimateResize)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(),
+                           config(64_MiB, /*quarantine=*/true), 1);
+    VirtioMemDriver driver(device);
+    device.setRequestedSize(48_MiB);
+    EXPECT_GT(driver.converge(), 0u);
+    EXPECT_EQ(device.pluggedSize(), 48_MiB);
+    EXPECT_EQ(device.stats().nackedRequests, 0u);
+}
+
+TEST_F(VirtioMemTest, QuarantineBlocksOvershoot)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(),
+                           config(64_MiB, /*quarantine=*/true), 1);
+    // Target 62 MiB: exactly one sub-block may be unplugged; a second
+    // unplug overshoots and is NACKed.
+    device.setRequestedSize(62_MiB);
+    EXPECT_TRUE(device.requestUnplug(10).ok());
+    EXPECT_EQ(device.requestUnplug(11).error(),
+              base::ErrorCode::Denied);
+}
+
+TEST_F(VirtioMemTest, QuarantineFalsePositiveOnPlugRetry)
+{
+    // The QEMU maintainer's objection (Section 6): when a plug fails,
+    // the stock driver unplugs and retries -- and that unplug looks
+    // malicious to the quarantine because plugged < requested.
+    // Reproduce with a host that cannot satisfy the plug.
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(),
+                           config(64_MiB, /*quarantine=*/true), 1);
+    VirtioMemDriver driver(device);
+
+    // Exhaust every order-9-capable block so plugs fail.
+    std::vector<Pfn> hog;
+    while (true) {
+        auto block = buddy->allocPages(9, mm::MigrateType::Movable,
+                                       mm::PageUse::KernelData);
+        if (!block.ok())
+            break;
+        hog.push_back(*block);
+    }
+
+    device.setRequestedSize(80_MiB);
+    const base::Status status = driver.plugWithRetry(40);
+    // The plug itself fails for lack of memory; the quarantine is the
+    // reason the *recovery* path misbehaves on real systems. Either
+    // way, no crash and the device stays consistent.
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(device.pluggedSize(), 64_MiB);
+    for (Pfn block : hog)
+        buddy->freePages(block, 9);
+}
+
+TEST_F(VirtioMemTest, StatsCountRequests)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, vfio.get(), config(),
+                           1);
+    (void)device.requestUnplug(0);
+    (void)device.requestPlug(0);
+    EXPECT_EQ(device.stats().unplugRequests, 1u);
+    EXPECT_EQ(device.stats().plugRequests, 1u);
+}
+
+TEST_F(VirtioMemTest, WithoutVfioReleasesMovable)
+{
+    VirtioMemDevice device(*dram, *buddy, *mmu, /*vfio=*/nullptr,
+                           config(), 1);
+    auto hpa = mmu->translate(device.subBlockGpa(0));
+    ASSERT_TRUE(hpa.ok());
+    const Pfn block = hpa->pfn();
+    EXPECT_FALSE(buddy->frame(block).pinned);
+    ASSERT_TRUE(device.requestUnplug(0).ok());
+    EXPECT_EQ(buddy->frame(block).migrateType,
+              mm::MigrateType::Movable);
+}
+
+TEST(QuarantinePolicy, RuleTable)
+{
+    QuarantinePolicy off;
+    EXPECT_FALSE(off.rejects(-100, 0, 100));
+
+    QuarantinePolicy on;
+    on.enabled = true;
+    // Right direction, within the gap: fine.
+    EXPECT_FALSE(on.rejects(-10, 90, 100));
+    EXPECT_FALSE(on.rejects(+10, 110, 100));
+    // Overshoot.
+    EXPECT_TRUE(on.rejects(-20, 90, 100));
+    EXPECT_TRUE(on.rejects(+20, 110, 100));
+    // Wrong direction.
+    EXPECT_TRUE(on.rejects(-10, 110, 100));
+    EXPECT_TRUE(on.rejects(+10, 90, 100));
+    // At the target, any change is suspicious.
+    EXPECT_TRUE(on.rejects(-1, 100, 100));
+    EXPECT_TRUE(on.rejects(+1, 100, 100));
+}
+
+} // namespace
+} // namespace hh::virtio
