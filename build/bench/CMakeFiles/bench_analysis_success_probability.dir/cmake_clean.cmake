@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_success_probability.dir/bench_analysis_success_probability.cc.o"
+  "CMakeFiles/bench_analysis_success_probability.dir/bench_analysis_success_probability.cc.o.d"
+  "bench_analysis_success_probability"
+  "bench_analysis_success_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_success_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_ffs.dir/bench_baseline_ffs.cc.o"
+  "CMakeFiles/bench_baseline_ffs.dir/bench_baseline_ffs.cc.o.d"
+  "bench_baseline_ffs"
+  "bench_baseline_ffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_xen_pv.dir/bench_baseline_xen_pv.cc.o"
+  "CMakeFiles/bench_baseline_xen_pv.dir/bench_baseline_xen_pv.cc.o.d"
+  "bench_baseline_xen_pv"
+  "bench_baseline_xen_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_xen_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

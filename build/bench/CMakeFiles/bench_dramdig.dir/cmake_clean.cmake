@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dramdig.dir/bench_dramdig.cc.o"
+  "CMakeFiles/bench_dramdig.dir/bench_dramdig.cc.o.d"
+  "bench_dramdig"
+  "bench_dramdig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dramdig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_end_to_end_estimate.dir/bench_end_to_end_estimate.cc.o"
+  "CMakeFiles/bench_end_to_end_estimate.dir/bench_end_to_end_estimate.cc.o.d"
+  "bench_end_to_end_estimate"
+  "bench_end_to_end_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_end_to_end_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

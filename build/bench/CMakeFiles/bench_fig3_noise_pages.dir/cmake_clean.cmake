@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_noise_pages.dir/bench_fig3_noise_pages.cc.o"
+  "CMakeFiles/bench_fig3_noise_pages.dir/bench_fig3_noise_pages.cc.o.d"
+  "bench_fig3_noise_pages"
+  "bench_fig3_noise_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_noise_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_page_steering.dir/bench_table2_page_steering.cc.o"
+  "CMakeFiles/bench_table2_page_steering.dir/bench_table2_page_steering.cc.o.d"
+  "bench_table2_page_steering"
+  "bench_table2_page_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_page_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

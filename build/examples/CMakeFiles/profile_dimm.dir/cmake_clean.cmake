@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_dimm.dir/profile_dimm.cpp.o"
+  "CMakeFiles/profile_dimm.dir/profile_dimm.cpp.o.d"
+  "profile_dimm"
+  "profile_dimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_dimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/hh_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/hh_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/hh_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvm/CMakeFiles/hh_kvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/hh_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hh_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/xen/CMakeFiles/hh_xen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hh_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/hh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/hh_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

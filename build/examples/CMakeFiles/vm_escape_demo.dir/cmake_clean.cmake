@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_escape_demo.dir/vm_escape_demo.cpp.o"
+  "CMakeFiles/vm_escape_demo.dir/vm_escape_demo.cpp.o.d"
+  "vm_escape_demo"
+  "vm_escape_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_escape_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

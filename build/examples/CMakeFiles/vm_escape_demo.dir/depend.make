@@ -1,0 +1,2 @@
+# Empty dependencies file for vm_escape_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("dram")
+subdirs("mm")
+subdirs("kvm")
+subdirs("iommu")
+subdirs("virtio")
+subdirs("vm")
+subdirs("sys")
+subdirs("xen")
+subdirs("attack")
+subdirs("analysis")

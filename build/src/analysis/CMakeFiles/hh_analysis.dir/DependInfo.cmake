@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dramdig.cc" "src/analysis/CMakeFiles/hh_analysis.dir/dramdig.cc.o" "gcc" "src/analysis/CMakeFiles/hh_analysis.dir/dramdig.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/hh_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/hh_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/trrespass.cc" "src/analysis/CMakeFiles/hh_analysis.dir/trrespass.cc.o" "gcc" "src/analysis/CMakeFiles/hh_analysis.dir/trrespass.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hh_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_analysis.dir/dramdig.cc.o"
+  "CMakeFiles/hh_analysis.dir/dramdig.cc.o.d"
+  "CMakeFiles/hh_analysis.dir/report.cc.o"
+  "CMakeFiles/hh_analysis.dir/report.cc.o.d"
+  "CMakeFiles/hh_analysis.dir/trrespass.cc.o"
+  "CMakeFiles/hh_analysis.dir/trrespass.cc.o.d"
+  "libhh_analysis.a"
+  "libhh_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

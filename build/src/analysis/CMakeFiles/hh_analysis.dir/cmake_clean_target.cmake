@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhh_analysis.a"
+)

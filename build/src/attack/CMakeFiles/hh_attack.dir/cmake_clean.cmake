@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_attack.dir/exploit.cc.o"
+  "CMakeFiles/hh_attack.dir/exploit.cc.o.d"
+  "CMakeFiles/hh_attack.dir/orchestrator.cc.o"
+  "CMakeFiles/hh_attack.dir/orchestrator.cc.o.d"
+  "CMakeFiles/hh_attack.dir/page_steering.cc.o"
+  "CMakeFiles/hh_attack.dir/page_steering.cc.o.d"
+  "CMakeFiles/hh_attack.dir/profiler.cc.o"
+  "CMakeFiles/hh_attack.dir/profiler.cc.o.d"
+  "libhh_attack.a"
+  "libhh_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

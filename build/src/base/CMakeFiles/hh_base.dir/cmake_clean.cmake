@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_base.dir/log.cc.o"
+  "CMakeFiles/hh_base.dir/log.cc.o.d"
+  "CMakeFiles/hh_base.dir/sim_clock.cc.o"
+  "CMakeFiles/hh_base.dir/sim_clock.cc.o.d"
+  "CMakeFiles/hh_base.dir/status.cc.o"
+  "CMakeFiles/hh_base.dir/status.cc.o.d"
+  "libhh_base.a"
+  "libhh_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_dram.dir/address_mapping.cc.o"
+  "CMakeFiles/hh_dram.dir/address_mapping.cc.o.d"
+  "CMakeFiles/hh_dram.dir/dram_system.cc.o"
+  "CMakeFiles/hh_dram.dir/dram_system.cc.o.d"
+  "CMakeFiles/hh_dram.dir/fault_model.cc.o"
+  "CMakeFiles/hh_dram.dir/fault_model.cc.o.d"
+  "CMakeFiles/hh_dram.dir/memory_backend.cc.o"
+  "CMakeFiles/hh_dram.dir/memory_backend.cc.o.d"
+  "libhh_dram.a"
+  "libhh_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

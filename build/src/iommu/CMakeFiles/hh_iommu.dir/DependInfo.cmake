@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iommu/viommu.cc" "src/iommu/CMakeFiles/hh_iommu.dir/viommu.cc.o" "gcc" "src/iommu/CMakeFiles/hh_iommu.dir/viommu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hh_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/hh_mm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_iommu.dir/viommu.cc.o"
+  "CMakeFiles/hh_iommu.dir/viommu.cc.o.d"
+  "libhh_iommu.a"
+  "libhh_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_kvm.dir/mmu.cc.o"
+  "CMakeFiles/hh_kvm.dir/mmu.cc.o.d"
+  "libhh_kvm.a"
+  "libhh_kvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_kvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_mm.dir/buddy_allocator.cc.o"
+  "CMakeFiles/hh_mm.dir/buddy_allocator.cc.o.d"
+  "libhh_mm.a"
+  "libhh_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

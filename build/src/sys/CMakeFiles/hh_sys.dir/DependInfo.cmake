@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/host_system.cc" "src/sys/CMakeFiles/hh_sys.dir/host_system.cc.o" "gcc" "src/sys/CMakeFiles/hh_sys.dir/host_system.cc.o.d"
+  "/root/repo/src/sys/ksm.cc" "src/sys/CMakeFiles/hh_sys.dir/ksm.cc.o" "gcc" "src/sys/CMakeFiles/hh_sys.dir/ksm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hh_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/hh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/hh_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvm/CMakeFiles/hh_kvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/hh_iommu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

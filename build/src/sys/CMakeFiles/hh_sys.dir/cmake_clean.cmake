@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_sys.dir/host_system.cc.o"
+  "CMakeFiles/hh_sys.dir/host_system.cc.o.d"
+  "CMakeFiles/hh_sys.dir/ksm.cc.o"
+  "CMakeFiles/hh_sys.dir/ksm.cc.o.d"
+  "libhh_sys.a"
+  "libhh_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virtio/virtio_balloon.cc" "src/virtio/CMakeFiles/hh_virtio.dir/virtio_balloon.cc.o" "gcc" "src/virtio/CMakeFiles/hh_virtio.dir/virtio_balloon.cc.o.d"
+  "/root/repo/src/virtio/virtio_mem.cc" "src/virtio/CMakeFiles/hh_virtio.dir/virtio_mem.cc.o" "gcc" "src/virtio/CMakeFiles/hh_virtio.dir/virtio_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hh_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hh_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/hh_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvm/CMakeFiles/hh_kvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/hh_iommu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_virtio.dir/virtio_balloon.cc.o"
+  "CMakeFiles/hh_virtio.dir/virtio_balloon.cc.o.d"
+  "CMakeFiles/hh_virtio.dir/virtio_mem.cc.o"
+  "CMakeFiles/hh_virtio.dir/virtio_mem.cc.o.d"
+  "libhh_virtio.a"
+  "libhh_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

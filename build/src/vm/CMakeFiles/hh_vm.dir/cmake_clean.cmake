@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_vm.dir/guest_paging.cc.o"
+  "CMakeFiles/hh_vm.dir/guest_paging.cc.o.d"
+  "CMakeFiles/hh_vm.dir/virtual_machine.cc.o"
+  "CMakeFiles/hh_vm.dir/virtual_machine.cc.o.d"
+  "libhh_vm.a"
+  "libhh_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hh_xen.dir/pv_domain.cc.o"
+  "CMakeFiles/hh_xen.dir/pv_domain.cc.o.d"
+  "libhh_xen.a"
+  "libhh_xen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hh_xen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

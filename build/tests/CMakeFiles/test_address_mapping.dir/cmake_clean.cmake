@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_mapping.dir/test_address_mapping.cc.o"
+  "CMakeFiles/test_address_mapping.dir/test_address_mapping.cc.o.d"
+  "test_address_mapping"
+  "test_address_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

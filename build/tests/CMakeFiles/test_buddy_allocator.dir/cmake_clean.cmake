@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buddy_allocator.dir/test_buddy_allocator.cc.o"
+  "CMakeFiles/test_buddy_allocator.dir/test_buddy_allocator.cc.o.d"
+  "test_buddy_allocator"
+  "test_buddy_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buddy_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

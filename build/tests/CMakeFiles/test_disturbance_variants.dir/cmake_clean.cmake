@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disturbance_variants.dir/test_disturbance_variants.cc.o"
+  "CMakeFiles/test_disturbance_variants.dir/test_disturbance_variants.cc.o.d"
+  "test_disturbance_variants"
+  "test_disturbance_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disturbance_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

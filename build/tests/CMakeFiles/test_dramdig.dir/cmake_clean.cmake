@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dramdig.dir/test_dramdig.cc.o"
+  "CMakeFiles/test_dramdig.dir/test_dramdig.cc.o.d"
+  "test_dramdig"
+  "test_dramdig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dramdig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ept.dir/test_ept.cc.o"
+  "CMakeFiles/test_ept.dir/test_ept.cc.o.d"
+  "test_ept"
+  "test_ept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_model.dir/test_fault_model.cc.o"
+  "CMakeFiles/test_fault_model.dir/test_fault_model.cc.o.d"
+  "test_fault_model"
+  "test_fault_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_paging.dir/test_guest_paging.cc.o"
+  "CMakeFiles/test_guest_paging.dir/test_guest_paging.cc.o.d"
+  "test_guest_paging"
+  "test_guest_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

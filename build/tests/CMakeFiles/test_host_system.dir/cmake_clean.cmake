@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_system.dir/test_host_system.cc.o"
+  "CMakeFiles/test_host_system.dir/test_host_system.cc.o.d"
+  "test_host_system"
+  "test_host_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_backend.dir/test_memory_backend.cc.o"
+  "CMakeFiles/test_memory_backend.dir/test_memory_backend.cc.o.d"
+  "test_memory_backend"
+  "test_memory_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

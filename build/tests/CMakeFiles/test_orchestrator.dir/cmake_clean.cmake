@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orchestrator.dir/test_orchestrator.cc.o"
+  "CMakeFiles/test_orchestrator.dir/test_orchestrator.cc.o.d"
+  "test_orchestrator"
+  "test_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

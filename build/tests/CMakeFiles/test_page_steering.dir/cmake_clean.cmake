@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_steering.dir/test_page_steering.cc.o"
+  "CMakeFiles/test_page_steering.dir/test_page_steering.cc.o.d"
+  "test_page_steering"
+  "test_page_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

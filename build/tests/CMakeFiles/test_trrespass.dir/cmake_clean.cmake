@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trrespass.dir/test_trrespass.cc.o"
+  "CMakeFiles/test_trrespass.dir/test_trrespass.cc.o.d"
+  "test_trrespass"
+  "test_trrespass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trrespass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtio_balloon.dir/test_virtio_balloon.cc.o"
+  "CMakeFiles/test_virtio_balloon.dir/test_virtio_balloon.cc.o.d"
+  "test_virtio_balloon"
+  "test_virtio_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtio_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtio_mem.dir/test_virtio_mem.cc.o"
+  "CMakeFiles/test_virtio_mem.dir/test_virtio_mem.cc.o.d"
+  "test_virtio_mem"
+  "test_virtio_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtio_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

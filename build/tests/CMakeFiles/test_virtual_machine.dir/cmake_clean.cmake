@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_machine.dir/test_virtual_machine.cc.o"
+  "CMakeFiles/test_virtual_machine.dir/test_virtual_machine.cc.o.d"
+  "test_virtual_machine"
+  "test_virtual_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xen_pv.dir/test_xen_pv.cc.o"
+  "CMakeFiles/test_xen_pv.dir/test_xen_pv.cc.o.d"
+  "test_xen_pv"
+  "test_xen_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xen_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
