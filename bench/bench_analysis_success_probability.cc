@@ -54,26 +54,40 @@ runRatio(unsigned sixteenths, const Options &opts,
 
     // Monte-Carlo over hypothetical exploitable flips: a random
     // sprayed EPTE's frame with one PFN bit (21..hi of the word)
-    // toggled.
-    base::Rng rng(base::mix64(opts.seed, sixteenths));
+    // toggled. Samples are split into fixed chunks, each drawing from
+    // its own SeedSequence stream and reading the (now immutable)
+    // post-steering host state, so --threads changes the wall clock
+    // but never the estimate.
+    const base::SeedSequence seq(base::mix64(opts.seed, sixteenths));
     const unsigned hi_bit = base::ceilLog2(cfg.dram.totalBytes) - 1;
     const auto &tables = machine->mmu().eptPageFrames();
-    uint64_t hits = 0;
     const uint64_t samples = 200'000;
-    for (uint64_t i = 0; i < samples; ++i) {
-        const Pfn table_page = tables[rng.below(tables.size())];
-        const uint64_t entry = host.dram().backend().read64(
-            HostPhysAddr(table_page * kPageSize + rng.below(512) * 8));
-        const kvm::EptEntry epte(entry);
-        if (!epte.present())
-            continue;
-        const unsigned bit = static_cast<unsigned>(
-            rng.between(21, hi_bit));
-        const Pfn flipped =
-            kvm::EptEntry(entry ^ (1ull << bit)).frame();
-        if (flipped < total_frames && ept_pages.count(flipped))
-            ++hits;
-    }
+    const uint64_t chunk_size = 10'000;
+    const uint64_t chunks = samples / chunk_size;
+    std::vector<uint64_t> chunk_hits(chunks, 0);
+    base::parallelFor(chunks, opts.threads, [&](uint64_t chunk) {
+        base::Rng rng = seq.stream(chunk);
+        uint64_t local_hits = 0;
+        for (uint64_t i = 0; i < chunk_size; ++i) {
+            const Pfn table_page = tables[rng.below(tables.size())];
+            const uint64_t entry = host.dram().backend().read64(
+                HostPhysAddr(table_page * kPageSize
+                             + rng.below(512) * 8));
+            const kvm::EptEntry epte(entry);
+            if (!epte.present())
+                continue;
+            const unsigned bit = static_cast<unsigned>(
+                rng.between(21, hi_bit));
+            const Pfn flipped =
+                kvm::EptEntry(entry ^ (1ull << bit)).frame();
+            if (flipped < total_frames && ept_pages.count(flipped))
+                ++local_hits;
+        }
+        chunk_hits[chunk] = local_hits;
+    });
+    uint64_t hits = 0;
+    for (uint64_t count : chunk_hits)
+        hits += count;
 
     const double measured = static_cast<double>(hits) / samples;
     const double bound = static_cast<double>(machine->memorySize())

@@ -28,6 +28,8 @@ struct Options
     uint64_t seed = 1;
     /** Reduced workloads for smoke runs. */
     bool quick = false;
+    /** Worker threads for Monte-Carlo batches (0 = all cores). */
+    unsigned threads = 1;
     /** Restrict to one system preset ("", "s1", "s2", "s3"). */
     std::string system;
 
@@ -48,12 +50,15 @@ struct Options
                 opts.seed = std::strtoull(v2, nullptr, 0);
             } else if (const char *v3 = value("--system=")) {
                 opts.system = v3;
+            } else if (const char *v4 = value("--threads=")) {
+                opts.threads = static_cast<unsigned>(
+                    std::strtoul(v4, nullptr, 0));
             } else if (arg == "--quick") {
                 opts.quick = true;
             } else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "options: [--host-gib=N] [--seed=N] [--quick] "
-                    "[--system=s1|s2|s3]\n");
+                    "[--threads=N] [--system=s1|s2|s3]\n");
                 std::exit(0);
             }
         }

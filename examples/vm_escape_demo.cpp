@@ -10,11 +10,16 @@
  * attacker's detection, identification, validation, escalation and
  * arbitrary host read/write, all through guest-legal operations.
  *
- * Usage: vm_escape_demo [seed]
+ * With --attempts=N the demo follows up with the real lottery: N
+ * Monte-Carlo attack attempts on the parallel trial engine
+ * (--threads=T workers, bitwise-identical results for any T).
+ *
+ * Usage: vm_escape_demo [seed] [--attempts=N] [--threads=T]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "hyperhammer/hyperhammer.h"
 
@@ -23,8 +28,19 @@ using namespace hh;
 int
 main(int argc, char **argv)
 {
-    const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0)
-                                   : 5;
+    uint64_t seed = 5;
+    unsigned attempts = 0;
+    unsigned threads = 0; // all cores
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--attempts=", 11) == 0)
+            attempts = static_cast<unsigned>(
+                std::strtoul(argv[i] + 11, nullptr, 0));
+        else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 10, nullptr, 0));
+        else
+            seed = std::strtoull(argv[i], nullptr, 0);
+    }
     sys::SystemConfig config =
         sys::SystemConfig::s1(seed).withMemory(2_GiB);
     sys::HostSystem host(config);
@@ -120,5 +136,44 @@ main(int argc, char **argv)
     std::printf("\nThe guest now has arbitrary read/write over host "
                 "physical memory (Section 4.3).\n");
     host.buddy().freePages(*secret_frame, 0);
+
+    if (attempts == 0)
+        return 0;
+
+    // Optional coda: the real lottery, on the Monte-Carlo engine.
+    // Each attempt is an independent trial on its own cloned host;
+    // --threads only changes the wall clock, never the outcome.
+    std::printf("\n== Monte-Carlo batch: %u attempt(s), %u thread(s) "
+                "==\n",
+                attempts,
+                threads ? threads : base::ThreadPool::defaultThreads());
+    machine.reset();
+    sys::SystemConfig mc_config =
+        sys::SystemConfig::s1(seed).withMemory(1_GiB);
+    mc_config.dram.fault.weakCellsPerRow *= 8; // keep the demo short
+    sys::HostSystem mc_host(mc_config);
+    vm::VmConfig mc_vm;
+    mc_vm.bootMemBytes = 64_MiB;
+    mc_vm.virtioMemRegionSize = 1_GiB;
+    mc_vm.virtioMemPlugged = 640_MiB;
+    attack::AttackConfig mc_cfg;
+    mc_cfg.steering.exhaustMappings = 2'500;
+    attack::HyperHammerAttack batch(mc_host, mc_vm,
+                                    mc_host.dram().mapping(), mc_cfg);
+    (void)batch.profilePhase();
+    if (batch.hostProfile().empty()) {
+        std::printf("[mc]    no usable bits at this seed; try another\n");
+        return 0;
+    }
+    const attack::AttackResult mc =
+        batch.runAttempts(attempts, threads);
+    std::printf("[mc]    %u attempt(s), %s; avg %.1f s/attempt "
+                "(virtual), %.1f flips and %.1f bits targeted per "
+                "attempt\n",
+                mc.attempts,
+                mc.success ? "escaped" : "no escape yet",
+                mc.stats.attemptSeconds.mean(),
+                mc.stats.changedPages.mean(),
+                mc.stats.bitsTargeted.mean());
     return 0;
 }

@@ -31,10 +31,12 @@
 #include "attack/types.h"
 #include "base/bitops.h"
 #include "base/log.h"
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "base/sim_clock.h"
 #include "base/stats.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "base/types.h"
 #include "dram/address_mapping.h"
 #include "dram/dram_system.h"

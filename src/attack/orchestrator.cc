@@ -4,9 +4,33 @@
 #include <unordered_map>
 
 #include "base/log.h"
+#include "base/parallel.h"
 #include "base/rng.h"
 
 namespace hh::attack {
+
+void
+BatchAggregates::add(const AttemptOutcome &outcome)
+{
+    attemptSeconds.add(base::SimClock::toSeconds(outcome.duration));
+    bitsTargeted.add(static_cast<double>(outcome.bitsTargeted));
+    releasedSubBlocks.add(
+        static_cast<double>(outcome.releasedSubBlocks));
+    demotions.add(static_cast<double>(outcome.demotions));
+    changedPages.add(static_cast<double>(outcome.changedPages));
+    epteCandidates.add(static_cast<double>(outcome.epteCandidates));
+}
+
+void
+BatchAggregates::merge(const BatchAggregates &other)
+{
+    attemptSeconds.merge(other.attemptSeconds);
+    bitsTargeted.merge(other.bitsTargeted);
+    releasedSubBlocks.merge(other.releasedSubBlocks);
+    demotions.merge(other.demotions);
+    changedPages.merge(other.changedPages);
+    epteCandidates.merge(other.epteCandidates);
+}
 
 double
 AttackResult::avgAttemptSeconds() const
@@ -45,16 +69,27 @@ HyperHammerAttack::HyperHammerAttack(sys::HostSystem &host,
       mapping(std::move(attacker_mapping)),
       cfg(config)
 {
+    const PlantedSecret planted = plantSecret(host);
+    secretFrame = planted.frame;
+    secretAddr = planted.addr;
+    secret = planted.value;
+}
+
+HyperHammerAttack::PlantedSecret
+HyperHammerAttack::plantSecret(sys::HostSystem &on_host)
+{
     // Plant the hypervisor secret the attacker will try to reach:
     // a host kernel page holding a magic value.
-    auto frame = host.buddy().allocPages(0, mm::MigrateType::Unmovable,
-                                         mm::PageUse::KernelData);
+    auto frame = on_host.buddy().allocPages(
+        0, mm::MigrateType::Unmovable, mm::PageUse::KernelData);
     if (!frame)
         base::fatal("cannot allocate the host secret page");
-    secretFrame = *frame;
-    secretAddr = HostPhysAddr(secretFrame * kPageSize + 0x5e8);
-    secret = base::mix64(0x5ec7e7, host.config().seed) | 1;
-    host.dram().write64(secretAddr, secret);
+    PlantedSecret planted;
+    planted.frame = *frame;
+    planted.addr = HostPhysAddr(planted.frame * kPageSize + 0x5e8);
+    planted.value = base::mix64(0x5ec7e7, on_host.config().seed) | 1;
+    on_host.dram().write64(planted.addr, planted.value);
+    return planted;
 }
 
 HyperHammerAttack::~HyperHammerAttack()
@@ -186,17 +221,26 @@ HyperHammerAttack::relocateTargets(vm::VirtualMachine &current) const
 AttemptOutcome
 HyperHammerAttack::attemptOnce(vm::VirtualMachine &current)
 {
+    return attemptIn(host, current, secretAddr, secret);
+}
+
+AttemptOutcome
+HyperHammerAttack::attemptIn(sys::HostSystem &on_host,
+                             vm::VirtualMachine &current,
+                             HostPhysAddr secret_addr,
+                             uint64_t secret_value) const
+{
     AttemptOutcome outcome;
-    const base::SimTime start = host.clock().now();
+    const base::SimTime start = on_host.clock().now();
 
     const std::vector<VulnerableBit> targets = relocateTargets(current);
     outcome.bitsTargeted = static_cast<unsigned>(targets.size());
     if (targets.empty()) {
-        outcome.duration = host.clock().now() - start;
+        outcome.duration = on_host.clock().now() - start;
         return outcome;
     }
 
-    PageSteering steering(current, host.clock(), cfg.steering);
+    PageSteering steering(current, on_host.clock(), cfg.steering);
     const uint64_t spray = cfg.sprayBytes
         ? cfg.sprayBytes
         : current.memorySize(); // everything that remains
@@ -204,7 +248,7 @@ HyperHammerAttack::attemptOnce(vm::VirtualMachine &current)
     outcome.releasedSubBlocks = steered.releasedSubBlocks;
     outcome.demotions = steered.demotions;
 
-    Exploiter exploiter(current, host.clock(), cfg.exploit);
+    Exploiter exploiter(current, on_host.clock(), cfg.exploit);
     exploiter.markPages(current.hugePageGpas());
     exploiter.hammerTargets(targets);
 
@@ -220,14 +264,14 @@ HyperHammerAttack::attemptOnce(vm::VirtualMachine &current)
         if (!escalation)
             continue;
         // Prove arbitrary host access: read the hypervisor secret.
-        auto value = exploiter.readHost(*escalation, secretAddr);
-        if (value && *value == secret) {
+        auto value = exploiter.readHost(*escalation, secret_addr);
+        if (value && *value == secret_value) {
             outcome.success = true;
             break;
         }
     }
 
-    outcome.duration = host.clock().now() - start;
+    outcome.duration = on_host.clock().now() - start;
     return outcome;
 }
 
@@ -256,8 +300,70 @@ HyperHammerAttack::run()
         }
     }
 
+    for (const AttemptOutcome &outcome : result.outcomes)
+        result.stats.add(outcome);
     // Includes VM respawn time, which dominates real attempts.
     result.totalTime = host.clock().now() - run_start;
+    return result;
+}
+
+AttemptOutcome
+HyperHammerAttack::runTrial(uint64_t trial) const
+{
+    // Clone the host. dram.seed is kept, so the cloned DIMM has the
+    // identical fault map and the host-physical profile remains valid;
+    // the top-level seed moves to a per-trial stream, giving each
+    // trial its own boot-noise and free-list history -- the parallel
+    // analogue of the churn that makes serial respawns independent
+    // samples rather than replays.
+    sys::SystemConfig trial_cfg = host.config();
+    trial_cfg.seed = base::SeedSequence(host.config().seed).seed(trial);
+    sys::HostSystem trial_host(trial_cfg);
+
+    const PlantedSecret planted = plantSecret(trial_host);
+    const base::SimTime start = trial_host.clock().now();
+    std::unique_ptr<vm::VirtualMachine> current =
+        trial_host.createVm(vmCfg);
+    AttemptOutcome outcome =
+        attemptIn(trial_host, *current, planted.addr, planted.value);
+    // Like serial attempts, the cost includes the VM spawn, which
+    // dominates in practice (Table 3's ~4 min average).
+    outcome.duration = trial_host.clock().now() - start;
+    return outcome;
+}
+
+AttackResult
+HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads)
+{
+    HH_ASSERT(!bits.empty()); // profilePhase() first
+    if (threads == 0)
+        threads = base::ThreadPool::defaultThreads();
+    // Trials own their hosts; the profiling VM is not reusable here.
+    machine.reset();
+
+    std::vector<AttemptOutcome> outcomes(attempts);
+    const uint64_t first_success = base::parallelFindFirst(
+        attempts, threads, [&](uint64_t trial) {
+            outcomes[trial] = runTrial(trial);
+            return outcomes[trial].success;
+        });
+
+    // Merge in trial order and truncate exactly where the sequential
+    // loop would have stopped; speculative trials past the first
+    // success are discarded. Everything below is a pure function of
+    // the per-trial outcomes, hence independent of the thread count.
+    AttackResult result;
+    const uint64_t counted =
+        std::min<uint64_t>(attempts, first_success + 1);
+    for (uint64_t trial = 0; trial < counted; ++trial) {
+        BatchAggregates one;
+        one.add(outcomes[trial]);
+        result.stats.merge(one);
+        result.totalTime += outcomes[trial].duration;
+        result.outcomes.push_back(outcomes[trial]);
+    }
+    result.attempts = static_cast<unsigned>(counted);
+    result.success = first_success < attempts;
     return result;
 }
 

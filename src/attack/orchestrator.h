@@ -22,6 +22,7 @@
 #include "attack/page_steering.h"
 #include "attack/profiler.h"
 #include "attack/types.h"
+#include "base/stats.h"
 #include "sys/host_system.h"
 
 namespace hh::attack {
@@ -65,6 +66,27 @@ struct AttemptOutcome
     base::SimTime duration = 0;
 };
 
+/**
+ * Mergeable per-attempt aggregates (the Table 3 columns). Each trial
+ * produces its own instance; the engine folds them together in trial
+ * order, so the merged numbers are bitwise-identical for any thread
+ * count.
+ */
+struct BatchAggregates
+{
+    base::RunningStats attemptSeconds;
+    base::RunningStats bitsTargeted;
+    base::RunningStats releasedSubBlocks;
+    base::RunningStats demotions;
+    base::RunningStats changedPages;
+    base::RunningStats epteCandidates;
+
+    /** Fold one attempt in. */
+    void add(const AttemptOutcome &outcome);
+    /** Fold another aggregate in (RunningStats::merge per metric). */
+    void merge(const BatchAggregates &other);
+};
+
 /** Aggregate result of an attack run (the Table 3 row). */
 struct AttackResult
 {
@@ -73,6 +95,8 @@ struct AttackResult
     base::SimTime totalTime = 0;
     base::SimTime profilingTime = 0;
     std::vector<AttemptOutcome> outcomes;
+    /** Merged per-attempt statistics over @ref outcomes. */
+    BatchAggregates stats;
 
     /** Mean virtual duration of one attempt, seconds. */
     double avgAttemptSeconds() const;
@@ -121,6 +145,22 @@ class HyperHammerAttack
     AttackResult run();
 
     /**
+     * Monte-Carlo batch: up to @p attempts independent trials on up to
+     * @p threads worker threads (0 = hardware concurrency).
+     *
+     * Every trial runs against its own cloned host -- same DRAM
+     * geometry and fault seed (so the reusable host-physical profile
+     * stays valid) but a per-trial boot-noise stream derived with
+     * base::SeedSequence, the parallel analogue of the free-list
+     * shuffling that makes serial respawns independent samples.
+     * Outcomes and aggregates are merged in trial order and truncated
+     * at the first success, exactly where a sequential loop would have
+     * stopped, so the result is bitwise-identical for any thread
+     * count. Requires profilePhase() first.
+     */
+    AttackResult runAttempts(unsigned attempts, unsigned threads);
+
+    /**
      * The hypervisor secret the attack tries to read: a host kernel
      * page containing a magic value, planted at construction. Success
      * means the attacker read it through its own address space.
@@ -145,6 +185,17 @@ class HyperHammerAttack
     /** VM kept alive between profilePhase() and the first attempt. */
     std::unique_ptr<vm::VirtualMachine> machine;
 
+    /** A hypervisor secret planted in a host's kernel memory. */
+    struct PlantedSecret
+    {
+        Pfn frame = kInvalidPfn;
+        HostPhysAddr addr{0};
+        uint64_t value = 0;
+    };
+
+    /** Allocate a kernel page on @p on_host and hide a secret in it. */
+    static PlantedSecret plantSecret(sys::HostSystem &on_host);
+
     /**
      * The paper's oracle: relocate the host-physical profile into the
      * current VM's guest address space via the debug hypercall.
@@ -154,6 +205,18 @@ class HyperHammerAttack
 
     /** One steering + hammer + detect + escalate attempt. */
     AttemptOutcome attemptOnce(vm::VirtualMachine &machine);
+
+    /**
+     * The same attempt against an arbitrary host (the trial engine
+     * passes per-trial clones; run() passes the primary host).
+     */
+    AttemptOutcome attemptIn(sys::HostSystem &on_host,
+                             vm::VirtualMachine &machine,
+                             HostPhysAddr secret_addr,
+                             uint64_t secret_value) const;
+
+    /** One self-contained trial: clone host, spawn VM, attempt. */
+    AttemptOutcome runTrial(uint64_t trial) const;
 };
 
 } // namespace hh::attack

@@ -8,6 +8,7 @@
 #ifndef HYPERHAMMER_BASE_LOG_H
 #define HYPERHAMMER_BASE_LOG_H
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -36,11 +37,12 @@ class Logger
     void vlog(LogLevel level, const char *fmt, va_list ap);
 
     /** Number of messages emitted at Warn or above (for tests). */
-    uint64_t warningCount() const { return warnings; }
+    uint64_t warningCount() const { return warnings.load(); }
 
   private:
     LogLevel threshold = LogLevel::Info;
-    uint64_t warnings = 0;
+    /** Atomic: parallel trials may warn concurrently. */
+    std::atomic<uint64_t> warnings{0};
 };
 
 /** Emit a message at the given level. */

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic data-parallel loops on top of ThreadPool.
+ *
+ * Both helpers share the engine's determinism contract: the body for
+ * index i may only read shared immutable state and write state owned
+ * exclusively by index i (e.g. slot i of a pre-sized results vector).
+ * Work is handed out through an atomic counter, so *which thread* runs
+ * an index varies run to run -- but under the contract that can never
+ * be observed in the results, and any thread count (including 1)
+ * produces bitwise-identical output.
+ */
+
+#ifndef HYPERHAMMER_BASE_PARALLEL_H
+#define HYPERHAMMER_BASE_PARALLEL_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "base/thread_pool.h"
+
+namespace hh::base {
+
+namespace detail {
+
+/** Run @p body over [0, n) on @p pool, one worker task per thread. */
+template <typename Claim>
+void
+drainIndexLoop(ThreadPool &pool, const Claim &claim)
+{
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    for (unsigned t = 0; t < pool.size(); ++t) {
+        pool.submit([&] {
+            try {
+                claim();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        });
+    }
+    pool.wait();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace detail
+
+/**
+ * Invoke @p body(i) for every i in [0, n) using @p pool's workers.
+ * Blocks until all iterations finish; rethrows the first body
+ * exception after the loop has quiesced.
+ */
+inline void
+parallelFor(ThreadPool &pool, uint64_t n,
+            const std::function<void(uint64_t)> &body)
+{
+    std::atomic<uint64_t> next{0};
+    detail::drainIndexLoop(pool, [&] {
+        for (;;) {
+            const uint64_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            body(i);
+        }
+    });
+}
+
+/** Convenience overload: a throwaway pool of @p threads workers. */
+inline void
+parallelFor(uint64_t n, unsigned threads,
+            const std::function<void(uint64_t)> &body)
+{
+    if (threads <= 1 || n <= 1) {
+        for (uint64_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<uint64_t>(threads, n)));
+    parallelFor(pool, n, body);
+}
+
+/**
+ * Ordered early-exit search: invoke @p body(i) (returning true for a
+ * "hit") and return the smallest hit index, or @p n if none hits.
+ *
+ * Guarantees that body ran exactly once for every index up to and
+ * including the returned one, so a caller keeping per-index results
+ * can use the prefix [0, result] knowing it is complete -- exactly
+ * what a sequential until-first-success loop would have produced.
+ * Indices beyond the first hit may or may not run (speculation waste
+ * is bounded by roughly one in-flight iteration per thread); their
+ * results must be discarded.
+ */
+inline uint64_t
+parallelFindFirst(uint64_t n, unsigned threads,
+                  const std::function<bool(uint64_t)> &body)
+{
+    if (threads <= 1 || n <= 1) {
+        for (uint64_t i = 0; i < n; ++i) {
+            if (body(i))
+                return i;
+        }
+        return n;
+    }
+
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> first_hit{n};
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<uint64_t>(threads, n)));
+    detail::drainIndexLoop(pool, [&] {
+        for (;;) {
+            const uint64_t i = next.fetch_add(1);
+            // first_hit only shrinks and i only grows, so once an
+            // index is past it this worker can retire for good.
+            if (i >= n || i > first_hit.load())
+                return;
+            if (body(i)) {
+                uint64_t seen = first_hit.load();
+                while (i < seen
+                       && !first_hit.compare_exchange_weak(seen, i)) {
+                }
+            }
+        }
+    });
+    return first_hit.load();
+}
+
+} // namespace hh::base
+
+#endif // HYPERHAMMER_BASE_PARALLEL_H

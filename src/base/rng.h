@@ -138,6 +138,14 @@ class Rng
         return Rng(mix64((*this)(), (*this)()));
     }
 
+    /** Skip @p count draws (for stream-offset tests). */
+    void
+    discard(uint64_t count)
+    {
+        while (count--)
+            (*this)();
+    }
+
   private:
     static constexpr uint64_t
     rotl(uint64_t x, int k)
@@ -146,6 +154,39 @@ class Rng
     }
 
     std::array<uint64_t, 4> state{};
+};
+
+/**
+ * Splits one root seed into arbitrarily many independent child seeds,
+ * indexed rather than drawn, so stream i's seed is a pure function of
+ * (root, i). This is what makes parallel Monte-Carlo trials
+ * deterministic: trial i derives the same Rng no matter which thread
+ * runs it, when it runs, or how many sibling trials exist.
+ *
+ * fork() cannot serve here -- it advances the parent generator, so the
+ * child depends on how many forks happened before it.
+ */
+class SeedSequence
+{
+  public:
+    explicit constexpr SeedSequence(uint64_t root_seed)
+        : root(root_seed)
+    {}
+
+    /** Seed of child stream @p index. */
+    constexpr uint64_t
+    seed(uint64_t index) const
+    {
+        // Salt the root so stream 0 differs from the root seed itself
+        // (callers often keep using the root for the parent object).
+        return mix64(root ^ 0x5eed5eeded5eedull, index);
+    }
+
+    /** Generator for child stream @p index. */
+    Rng stream(uint64_t index) const { return Rng(seed(index)); }
+
+  private:
+    uint64_t root;
 };
 
 } // namespace hh::base

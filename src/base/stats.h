@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "base/log.h"
+
 namespace hh::base {
 
 /**
@@ -55,6 +57,36 @@ class RunningStats
     double min() const { return n ? minValue : 0.0; }
     /** Maximum sample; 0 when empty. */
     double max() const { return n ? maxValue : 0.0; }
+
+    /**
+     * Fold another accumulator in, as if its samples had been add()ed
+     * here (Chan et al.'s parallel variance combination). The result
+     * depends only on the two operands, so merging per-trial
+     * accumulators in trial order yields bitwise-identical statistics
+     * regardless of how many threads produced them.
+     */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.n == 0)
+            return;
+        if (n == 0) {
+            *this = other;
+            return;
+        }
+        const double combined = static_cast<double>(n + other.n);
+        const double delta = other.meanValue - meanValue;
+        m2 += other.m2
+            + delta * delta * static_cast<double>(n)
+                * static_cast<double>(other.n) / combined;
+        meanValue += delta * static_cast<double>(other.n) / combined;
+        n += other.n;
+        total += other.total;
+        if (other.minValue < minValue)
+            minValue = other.minValue;
+        if (other.maxValue > maxValue)
+            maxValue = other.maxValue;
+    }
 
     /** Reset to empty. */
     void
@@ -115,6 +147,22 @@ class Histogram
             / static_cast<double>(counts.size());
     }
 
+    /**
+     * Fold another histogram with the same geometry in; bucket counts
+     * are integers, so the merge is exact and order-independent.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        HH_ASSERT(lo == other.lo && hi == other.hi
+                  && counts.size() == other.counts.size());
+        for (size_t i = 0; i < counts.size(); ++i)
+            counts[i] += other.counts[i];
+        n += other.n;
+        underflow += other.underflow;
+        overflow += other.overflow;
+    }
+
   private:
     double lo;
     double hi;
@@ -141,6 +189,14 @@ class Series
     explicit Series(std::string name) : seriesName(std::move(name)) {}
 
     void add(double x, double y) { points.push_back({x, y}); }
+
+    /** Append another series' points (time-series batch merge). */
+    void
+    merge(const Series &other)
+    {
+        points.insert(points.end(), other.points.begin(),
+                      other.points.end());
+    }
 
     const std::string &name() const { return seriesName; }
     const std::vector<Point> &data() const { return points; }

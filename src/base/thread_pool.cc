@@ -1,0 +1,74 @@
+#include "thread_pool.h"
+
+namespace hh::base {
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    workReady.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue.push_back(std::move(job));
+        ++inFlight;
+    }
+    workReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            workReady.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            if (--inFlight == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+} // namespace hh::base

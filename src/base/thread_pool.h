@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A small fixed-size worker pool for the Monte-Carlo trial engine.
+ *
+ * The simulator itself is single-threaded by design (one virtual clock
+ * per HostSystem); parallelism only ever happens *between* independent
+ * simulations. The pool therefore stays deliberately minimal: submit
+ * fire-and-forget jobs, wait for quiescence, destroy. Determinism is
+ * the caller's contract -- a job may only touch state owned by its own
+ * trial, so scheduling order can never change results.
+ */
+
+#ifndef HYPERHAMMER_BASE_THREAD_POOL_H
+#define HYPERHAMMER_BASE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hh::base {
+
+/** Fixed set of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p threads workers; 0 picks the hardware concurrency.
+     * A pool of size 1 still runs jobs on its (single) worker, so
+     * submit() never blocks the caller.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /** Enqueue one job. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** hardware_concurrency with a sane floor of 1. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex;
+    std::condition_variable workReady;
+    std::condition_variable allDone;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    uint64_t inFlight = 0; // queued + running
+    bool stopping = false;
+};
+
+} // namespace hh::base
+
+#endif // HYPERHAMMER_BASE_THREAD_POOL_H
