@@ -28,13 +28,15 @@ DramDig::randomAddr()
 double
 DramDig::measurePair(HostPhysAddr a, HostPhysAddr b)
 {
-    double total = 0.0;
+    // Latencies are integer SimTime ticks: sum them exactly as
+    // integers and divide once, so the mean is order-independent.
+    base::SimTime total = 0;
     for (unsigned i = 0; i < cfg.measurementsPerPair; ++i) {
-        total += static_cast<double>(dram.timedAccess(a));
-        total += static_cast<double>(dram.timedAccess(b));
+        total += dram.timedAccess(a);
+        total += dram.timedAccess(b);
         timedAccesses += 2;
     }
-    return total / (2.0 * cfg.measurementsPerPair);
+    return static_cast<double>(total) / (2.0 * cfg.measurementsPerPair);
 }
 
 void

@@ -37,10 +37,13 @@ AttackResult::avgAttemptSeconds() const
 {
     if (outcomes.empty())
         return 0.0;
-    double total = 0.0;
+    // Durations are integer SimTime ticks: sum them exactly as
+    // integers and convert once, so the mean is order-independent.
+    base::SimTime total = 0;
     for (const AttemptOutcome &outcome : outcomes)
-        total += base::SimClock::toSeconds(outcome.duration);
-    return total / static_cast<double>(outcomes.size());
+        total += outcome.duration;
+    return base::SimClock::toSeconds(total)
+        / static_cast<double>(outcomes.size());
 }
 
 base::SimTime

@@ -1,6 +1,7 @@
 #include "log.h"
 
 #include <cstdarg>
+#include <string>
 
 namespace hh::base {
 
@@ -16,7 +17,7 @@ Logger::vlog(LogLevel level, const char *fmt, va_list ap)
 {
     if (level >= LogLevel::Warn)
         ++warnings;
-    if (level < threshold)
+    if (level < getThreshold())
         return;
     const char *prefix = "";
     switch (level) {
@@ -25,9 +26,33 @@ Logger::vlog(LogLevel level, const char *fmt, va_list ap)
       case LogLevel::Warn:  prefix = "warn: ";  break;
       case LogLevel::Error: prefix = "error: "; break;
     }
-    std::fputs(prefix, stderr);
-    std::vfprintf(stderr, fmt, ap);
-    std::fputc('\n', stderr);
+
+    // Format outside the lock; emit in one call under it, so messages
+    // from concurrent trial workers never interleave mid-line.
+    va_list probe;
+    va_copy(probe, ap);
+    char stack_buf[512];
+    const int need =
+        std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, probe);
+    va_end(probe);
+
+    std::string line(prefix);
+    if (need < 0) {
+        line += "<formatting error>";
+    } else if (static_cast<size_t>(need) < sizeof(stack_buf)) {
+        line += stack_buf;
+    } else {
+        std::string big(static_cast<size_t>(need) + 1, '\0');
+        std::vsnprintf(big.data(), big.size(), fmt, ap);
+        big.resize(static_cast<size_t>(need));
+        line += big;
+    }
+    line += '\n';
+
+    MutexLock lock(sinkMutex);
+    // Logging is best-effort; a short write to stderr is not actionable.
+    const size_t written = std::fwrite(line.data(), 1, line.size(), stderr);
+    (void)written;
 }
 
 void

@@ -3,6 +3,12 @@
  * Minimal logging and error-reporting facility, in the spirit of gem5's
  * base/logging.hh: panic() for internal invariant violations, fatal() for
  * unusable configurations, warn()/inform() for user-facing status.
+ *
+ * The logger is process-global and called concurrently by trial
+ * workers, so all of its state is either atomic (threshold, counters)
+ * or guarded by the annotated sink mutex (the stderr stream itself --
+ * messages are formatted outside the lock and emitted in one write, so
+ * parallel trials never interleave mid-line).
  */
 
 #ifndef HYPERHAMMER_BASE_LOG_H
@@ -12,7 +18,9 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <string>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace hh::base {
 
@@ -30,19 +38,32 @@ class Logger
     static Logger &get();
 
     /** Only messages at >= this level are emitted. */
-    void setThreshold(LogLevel level) { threshold = level; }
-    LogLevel getThreshold() const { return threshold; }
+    void
+    setThreshold(LogLevel level)
+    {
+        threshold.store(level, std::memory_order_relaxed);
+    }
+
+    LogLevel
+    getThreshold() const
+    {
+        return threshold.load(std::memory_order_relaxed);
+    }
 
     /** printf-style log emission. */
-    void vlog(LogLevel level, const char *fmt, va_list ap);
+    void vlog(LogLevel level, const char *fmt, va_list ap)
+        HH_EXCLUDES(sinkMutex);
 
     /** Number of messages emitted at Warn or above (for tests). */
     uint64_t warningCount() const { return warnings.load(); }
 
   private:
-    LogLevel threshold = LogLevel::Info;
+    /** Atomic: trial workers log while tests adjust verbosity. */
+    std::atomic<LogLevel> threshold{LogLevel::Info};
     /** Atomic: parallel trials may warn concurrently. */
     std::atomic<uint64_t> warnings{0};
+    /** Serializes writes to the sink so lines never interleave. */
+    Mutex sinkMutex;
 };
 
 /** Emit a message at the given level. */

@@ -19,8 +19,8 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 
+#include "base/mutex.h"
 #include "base/thread_pool.h"
 
 namespace hh::base {
@@ -33,13 +33,13 @@ void
 drainIndexLoop(ThreadPool &pool, const Claim &claim)
 {
     std::exception_ptr error;
-    std::mutex error_mutex;
+    Mutex error_mutex;
     for (unsigned t = 0; t < pool.size(); ++t) {
         pool.submit([&] {
             try {
                 claim();
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
+                MutexLock lock(error_mutex);
                 if (!error)
                     error = std::current_exception();
             }

@@ -41,7 +41,7 @@ const char *errorName(ErrorCode code);
  * either check ok() or use valueOr().
  */
 template <typename T>
-class Expected
+class [[nodiscard]] Expected
 {
   public:
     Expected(T value) : payload(std::move(value)) {}
@@ -51,7 +51,7 @@ class Expected
     }
 
     /** True when a value is present. */
-    bool ok() const { return std::holds_alternative<T>(payload); }
+    [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload); }
     explicit operator bool() const { return ok(); }
 
     /** Error code; Ok when a value is present. */
@@ -95,16 +95,21 @@ class Expected
 /** Empty payload for Status. */
 struct Unit {};
 
-/** Success/failure result with no payload. */
-class Status
+/**
+ * Success/failure result with no payload. The class itself is
+ * [[nodiscard]]: a dropped Status is a swallowed ENOMEM/EBUSY, exactly
+ * the silent-failure mode hh-lint's missing-nodiscard rule polices at
+ * the declaration level.
+ */
+class [[nodiscard]] Status
 {
   public:
     Status() : code(ErrorCode::Ok) {}
     Status(ErrorCode code) : code(code) {}
 
-    static Status success() { return Status(); }
+    [[nodiscard]] static Status success() { return Status(); }
 
-    bool ok() const { return code == ErrorCode::Ok; }
+    [[nodiscard]] bool ok() const { return code == ErrorCode::Ok; }
     explicit operator bool() const { return ok(); }
     ErrorCode error() const { return code; }
 

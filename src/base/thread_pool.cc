@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         stopping = true;
     }
-    workReady.notify_all();
+    workReady.notifyAll();
     for (std::thread &worker : workers)
         worker.join();
 }
@@ -33,18 +33,19 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     {
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         queue.push_back(std::move(job));
         ++inFlight;
     }
-    workReady.notify_one();
+    workReady.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex);
-    allDone.wait(lock, [this] { return inFlight == 0; });
+    MutexLock lock(mutex);
+    while (inFlight != 0)
+        allDone.wait(mutex);
 }
 
 void
@@ -53,10 +54,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex);
-            workReady.wait(lock, [this] {
-                return stopping || !queue.empty();
-            });
+            MutexLock lock(mutex);
+            while (!stopping && queue.empty())
+                workReady.wait(mutex);
             if (queue.empty())
                 return; // stopping and drained
             job = std::move(queue.front());
@@ -64,9 +64,9 @@ ThreadPool::workerLoop()
         }
         job();
         {
-            std::unique_lock<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
             if (--inFlight == 0)
-                allDone.notify_all();
+                allDone.notifyAll();
         }
     }
 }

@@ -64,14 +64,14 @@ class IoPageTable
     IoPageTable &operator=(const IoPageTable &) = delete;
 
     /** Install a 4 KB IOVA -> HPA mapping. */
-    base::Status map(IoVirtAddr iova, HostPhysAddr hpa);
+    [[nodiscard]] base::Status map(IoVirtAddr iova, HostPhysAddr hpa);
 
     /** Remove a mapping. The covering table pages are not reclaimed
      *  eagerly (Linux keeps them until the container is torn down). */
-    base::Status unmap(IoVirtAddr iova);
+    [[nodiscard]] base::Status unmap(IoVirtAddr iova);
 
     /** Translate an IOVA. */
-    base::Expected<HostPhysAddr> translate(IoVirtAddr iova) const;
+    [[nodiscard]] base::Expected<HostPhysAddr> translate(IoVirtAddr iova) const;
 
     /** Number of IOPT table pages allocated so far. */
     uint64_t tablePageCount() const { return tablePages.size(); }
@@ -83,7 +83,7 @@ class IoPageTable
     Pfn root = kInvalidPfn;
     std::vector<Pfn> tablePages;
 
-    base::Expected<Pfn> allocTablePage();
+    [[nodiscard]] base::Expected<Pfn> allocTablePage();
 
     static HostPhysAddr
     entryAddr(Pfn table, unsigned index)
@@ -124,16 +124,16 @@ class VfioContainer
      * @p group. Fails with LimitExceeded once the group's mapping
      * budget is spent. The target page is pinned.
      */
-    base::Status mapDma(GroupId group, IoVirtAddr iova, HostPhysAddr hpa);
+    [[nodiscard]] base::Status mapDma(GroupId group, IoVirtAddr iova, HostPhysAddr hpa);
 
     /** VFIO_IOMMU_UNMAP_DMA. */
-    base::Status unmapDma(GroupId group, IoVirtAddr iova);
+    [[nodiscard]] base::Status unmapDma(GroupId group, IoVirtAddr iova);
 
     /** Device-initiated DMA read through the IOMMU. */
-    base::Expected<uint64_t> dmaRead64(GroupId group, IoVirtAddr iova);
+    [[nodiscard]] base::Expected<uint64_t> dmaRead64(GroupId group, IoVirtAddr iova);
 
     /** Device-initiated DMA write through the IOMMU. */
-    base::Status dmaWrite64(GroupId group, IoVirtAddr iova,
+    [[nodiscard]] base::Status dmaWrite64(GroupId group, IoVirtAddr iova,
                             uint64_t value);
 
     /** Mappings currently installed in @p group. */

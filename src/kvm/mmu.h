@@ -102,26 +102,26 @@ class Mmu
      * Install a 2 MB mapping gpa -> hpa (both 2 MB aligned). Under the
      * NX-hugepage countermeasure the leaf is created non-executable.
      */
-    base::Status map2m(GuestPhysAddr gpa, HostPhysAddr hpa);
+    [[nodiscard]] base::Status map2m(GuestPhysAddr gpa, HostPhysAddr hpa);
 
     /** Install a 4 KB mapping gpa -> hpa. */
-    base::Status map4k(GuestPhysAddr gpa, HostPhysAddr hpa, bool exec);
+    [[nodiscard]] base::Status map4k(GuestPhysAddr gpa, HostPhysAddr hpa, bool exec);
 
     /** Remove the mapping covering @p gpa (leaf only). */
-    base::Status unmap(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status unmap(GuestPhysAddr gpa);
 
     /**
      * Remove every mapping inside the 2 MB-aligned range at @p gpa:
      * one PD entry when the range is still a hugepage leaf, or all
      * 512 PT entries after a demotion (virtio-mem unplug path).
      */
-    base::Status unmapHugeRange(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status unmapHugeRange(GuestPhysAddr gpa);
 
     /**
      * Translate a GPA by walking the EPT in DRAM. Honours whatever the
      * entries *currently* contain -- including Rowhammer corruption.
      */
-    base::Expected<HostPhysAddr> translate(GuestPhysAddr gpa) const;
+    [[nodiscard]] base::Expected<HostPhysAddr> translate(GuestPhysAddr gpa) const;
 
     /**
      * Perform a guest access. Exec accesses to NX 2 MB leaves trigger
@@ -138,25 +138,25 @@ class Mmu
      * countermeasure disabled this raises a machine check (Fault), the
      * DoS the NX-hugepage mitigation prevents.
      */
-    base::Status execDuringPageSizeChange(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status execDuringPageSizeChange(GuestPhysAddr gpa);
 
     /**
      * Host-initiated hugepage split (KSM and page migration need 4 KB
      * granularity). Same mechanics as the exec-fault demotion.
      */
-    base::Status splitHugePage(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status splitHugePage(GuestPhysAddr gpa);
 
     /**
      * Toggle the write permission of the 4 KB leaf covering @p gpa
      * (KSM write-protects merged pages).
      */
-    base::Status setLeafWritable(GuestPhysAddr gpa, bool writable);
+    [[nodiscard]] base::Status setLeafWritable(GuestPhysAddr gpa, bool writable);
 
     /**
      * Point the 4 KB leaf covering @p gpa at @p frame (KSM merge and
      * copy-on-write breaking).
      */
-    base::Status remapLeaf4k(GuestPhysAddr gpa, Pfn frame,
+    [[nodiscard]] base::Status remapLeaf4k(GuestPhysAddr gpa, Pfn frame,
                              bool writable);
 
     /** Number of EPT table pages currently allocated (paper's E). */
@@ -175,7 +175,7 @@ class Mmu
      * Re-read a leaf entry for @p gpa straight from DRAM -- evaluation
      * helper to observe corruption.
      */
-    base::Expected<EptEntry> leafEntry(GuestPhysAddr gpa) const;
+    [[nodiscard]] base::Expected<EptEntry> leafEntry(GuestPhysAddr gpa) const;
 
     /**
      * Resolve the host frame of every 4 KB page in the 2 MB-aligned
@@ -207,7 +207,7 @@ class Mmu
     uint64_t machineCheckCount = 0;
 
     /** Allocate one zeroed EPT table page (order-0 UNMOVABLE). */
-    base::Expected<Pfn> allocTablePage();
+    [[nodiscard]] base::Expected<Pfn> allocTablePage();
 
     /** Address of entry @p index in table page @p table. */
     static HostPhysAddr
@@ -223,11 +223,11 @@ class Mmu
      * Walk to the PD level (level 2), allocating intermediate tables
      * when @p create is set. Returns the PD table frame.
      */
-    base::Expected<Pfn> walkToLevel(GuestPhysAddr gpa, unsigned level,
+    [[nodiscard]] base::Expected<Pfn> walkToLevel(GuestPhysAddr gpa, unsigned level,
                                     bool create);
 
     /** Demote the 2 MB leaf at @p gpa into 4 KB mappings. */
-    base::Status demote(GuestPhysAddr gpa, Pfn pd_table, unsigned pd_index,
+    [[nodiscard]] base::Status demote(GuestPhysAddr gpa, Pfn pd_table, unsigned pd_index,
                         EptEntry pd_entry);
 };
 

@@ -98,7 +98,7 @@ class BuddyAllocator
      *
      * @return PFN of the block head, or NoMemory
      */
-    base::Expected<Pfn> allocPages(unsigned order, MigrateType mt,
+    [[nodiscard]] base::Expected<Pfn> allocPages(unsigned order, MigrateType mt,
                                    PageUse use, uint16_t owner = 0);
 
     /**
@@ -107,7 +107,7 @@ class BuddyAllocator
      * migrate-type separation; Section 6). The block keeps the
      * migrate type of the list it came from.
      */
-    base::Expected<Pfn> allocPagesAnyType(unsigned order, PageUse use,
+    [[nodiscard]] base::Expected<Pfn> allocPagesAnyType(unsigned order, PageUse use,
                                           uint16_t owner = 0);
 
     /** Free a block previously returned by allocPages. */
@@ -173,13 +173,13 @@ class BuddyAllocator
     Pfn listPop(MigrateType mt, unsigned order);
 
     /** Core buddy alloc (no PCP). */
-    base::Expected<Pfn> allocCore(unsigned order, MigrateType mt);
+    [[nodiscard]] base::Expected<Pfn> allocCore(unsigned order, MigrateType mt);
 
     /** Core buddy free (no PCP), with coalescing. */
     void freeCore(Pfn pfn, unsigned order, MigrateType mt);
 
     /** Steal the largest block of another migrate type. */
-    base::Expected<Pfn> stealFallback(unsigned order, MigrateType mt);
+    [[nodiscard]] base::Expected<Pfn> stealFallback(unsigned order, MigrateType mt);
 
     void markAllocated(Pfn pfn, unsigned order, MigrateType mt,
                        PageUse use, uint16_t owner);

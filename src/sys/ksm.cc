@@ -1,5 +1,6 @@
 #include "ksm.h"
 
+#include "base/container_util.h"
 #include "base/log.h"
 #include "base/rng.h"
 
@@ -23,7 +24,9 @@ Ksm::~Ksm()
         dram.backend().clearPage(frame);
         buddy.freePages(frame, 0);
     };
-    for (const auto &[frame, hash] : frameToHash)
+    // Hash-map order is implementation-defined; reclaim in frame order
+    // so the allocator's free lists end up in a reproducible state.
+    for (Pfn frame : base::sortedKeys(frameToHash))
         reclaim(frame);
     for (Pfn frame : cowFrames)
         reclaim(frame);

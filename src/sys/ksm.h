@@ -104,7 +104,7 @@ class Ksm
     bool samePageContent(Pfn a, Pfn b) const;
 
     /** The write-fault (VM exit) path: unshare (machine, gpa). */
-    base::Status breakCow(vm::VirtualMachine &machine,
+    [[nodiscard]] base::Status breakCow(vm::VirtualMachine &machine,
                           GuestPhysAddr gpa);
 };
 

@@ -1,5 +1,6 @@
 #include "virtio_balloon.h"
 
+#include "base/container_util.h"
 #include "base/log.h"
 
 namespace hh::virtio {
@@ -7,8 +8,9 @@ namespace hh::virtio {
 VirtioBalloonDevice::~VirtioBalloonDevice()
 {
     // Replacement frames are not part of any original backing block;
-    // return them before the block-wise teardown runs.
-    for (const auto &[gpa, frame] : replacements) {
+    // return them before the block-wise teardown runs. GPA-sorted so
+    // the allocator's free lists end up in a reproducible state.
+    for (const auto &[gpa, frame] : base::sortedItems(replacements)) {
         if (inflated.count(gpa))
             continue; // re-inflated after a deflate: frame is gone
         (void)mmu.unmap(GuestPhysAddr(gpa));

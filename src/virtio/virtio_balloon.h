@@ -60,13 +60,13 @@ class VirtioBalloonDevice
      * Only pages mapped with 4 KB granularity can balloon (the guest
      * splits THP ranges before inflating).
      */
-    base::Status inflatePage(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status inflatePage(GuestPhysAddr gpa);
 
     /**
      * Guest deflates a previously inflated page: fresh host backing is
      * allocated and mapped.
      */
-    base::Status deflatePage(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status deflatePage(GuestPhysAddr gpa);
 
     /** Pages currently in the balloon. */
     uint64_t inflatedCount() const { return inflated.size(); }

@@ -155,7 +155,7 @@ class VirtioMemDevice
      * block on the host, maps it as a 2 MB EPT leaf and (with VFIO)
      * pins it. Subject to quarantine.
      */
-    base::Status requestPlug(SubBlockId sb);
+    [[nodiscard]] base::Status requestPlug(SubBlockId sb);
 
     /**
      * Guest request: unplug sub-block @p sb. Unmaps the EPT leaf,
@@ -163,7 +163,7 @@ class VirtioMemDevice
      * order-9 MIGRATE_UNMOVABLE block (the madvise path under THP).
      * Subject to quarantine.
      */
-    base::Status requestUnplug(SubBlockId sb);
+    [[nodiscard]] base::Status requestUnplug(SubBlockId sb);
 
     const VirtioMemStats &stats() const { return devStats; }
 
@@ -187,7 +187,7 @@ class VirtioMemDevice
     uint64_t requestedBytes = 0;
     VirtioMemStats devStats;
 
-    base::Status plugBacking(SubBlockId sb);
+    [[nodiscard]] base::Status plugBacking(SubBlockId sb);
     void unplugBacking(SubBlockId sb);
 };
 
@@ -212,7 +212,7 @@ class VirtioMemDriver
      * of the requested size, via the moral equivalent of
      * virtio_mem_sbm_unplug_sb_online().
      */
-    base::Status unplugSpecific(GuestPhysAddr gpa);
+    [[nodiscard]] base::Status unplugSpecific(GuestPhysAddr gpa);
 
     /**
      * Attacker modification 2: when set, converge() never plugs, so
@@ -226,7 +226,7 @@ class VirtioMemDriver
      * on a plug failure the stock Linux driver unplugs the sub-block
      * and retries. Returns the final status.
      */
-    base::Status plugWithRetry(SubBlockId sb);
+    [[nodiscard]] base::Status plugWithRetry(SubBlockId sb);
 
   private:
     VirtioMemDevice &device;

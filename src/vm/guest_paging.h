@@ -70,26 +70,26 @@ class GuestPaging
      * ThpPolicy::Always, 2 MB-aligned stretches (when both gva and
      * backing are co-aligned) use 2 MB guest pages.
      */
-    base::Status mapAnonymous(GuestVirtAddr gva, uint64_t bytes,
+    [[nodiscard]] base::Status mapAnonymous(GuestVirtAddr gva, uint64_t bytes,
                               GuestPhysAddr backing);
 
     /** Remove the mapping of one 4 KB or 2 MB page containing gva. */
-    base::Status unmap(GuestVirtAddr gva);
+    [[nodiscard]] base::Status unmap(GuestVirtAddr gva);
 
     /**
      * Translate by walking the guest tables (every walk step is a
      * real guest memory read through the EPT).
      */
-    base::Expected<GuestPhysAddr> translate(GuestVirtAddr gva);
+    [[nodiscard]] base::Expected<GuestPhysAddr> translate(GuestVirtAddr gva);
 
     /** Read through GVA (guest walk + EPT-mediated access). */
-    base::Expected<uint64_t> read64(GuestVirtAddr gva);
+    [[nodiscard]] base::Expected<uint64_t> read64(GuestVirtAddr gva);
 
     /** Write through GVA. */
-    base::Status write64(GuestVirtAddr gva, uint64_t value);
+    [[nodiscard]] base::Status write64(GuestVirtAddr gva, uint64_t value);
 
     /** True when gva is backed by a 2 MB guest page. */
-    base::Expected<bool> backedByHugePage(GuestVirtAddr gva);
+    [[nodiscard]] base::Expected<bool> backedByHugePage(GuestVirtAddr gva);
 
     /** Guest-physical frames used for table pages so far. */
     uint64_t tablePagesUsed() const { return tableBump; }
@@ -106,7 +106,7 @@ class GuestPaging
     uint64_t tableBump = 0; // table pages handed out
 
     /** Allocate and zero one guest page-table page. */
-    base::Expected<GuestPhysAddr> allocTablePage();
+    [[nodiscard]] base::Expected<GuestPhysAddr> allocTablePage();
 
     static unsigned
     index(GuestVirtAddr gva, unsigned level)
@@ -115,17 +115,17 @@ class GuestPaging
             (gva.value() >> (kPageShift + 9 * (level - 1))) & 0x1ff);
     }
 
-    base::Expected<uint64_t> readEntry(GuestPhysAddr table,
+    [[nodiscard]] base::Expected<uint64_t> readEntry(GuestPhysAddr table,
                                        unsigned idx);
-    base::Status writeEntry(GuestPhysAddr table, unsigned idx,
+    [[nodiscard]] base::Status writeEntry(GuestPhysAddr table, unsigned idx,
                             uint64_t entry);
 
     /** Walk to the PD (level 2) table, creating tables if asked. */
-    base::Expected<GuestPhysAddr> walkToPd(GuestVirtAddr gva,
+    [[nodiscard]] base::Expected<GuestPhysAddr> walkToPd(GuestVirtAddr gva,
                                            bool create);
 
-    base::Status map2m(GuestVirtAddr gva, GuestPhysAddr backing);
-    base::Status map4k(GuestVirtAddr gva, GuestPhysAddr backing);
+    [[nodiscard]] base::Status map2m(GuestVirtAddr gva, GuestPhysAddr backing);
+    [[nodiscard]] base::Status map4k(GuestVirtAddr gva, GuestPhysAddr backing);
 };
 
 } // namespace hh::vm

@@ -80,14 +80,14 @@ class VirtualMachine
     /// @{
 
     /** Read the aligned 64-bit word at @p gpa. */
-    base::Expected<uint64_t> read64(GuestPhysAddr gpa);
+    [[nodiscard]] base::Expected<uint64_t> read64(GuestPhysAddr gpa);
 
     /**
      * Write the aligned 64-bit word at @p gpa. Honours EPT write
      * permissions: a write-protected page (KSM-merged) triggers the
      * registered write-fault handler (the VM-exit path) and retries.
      */
-    base::Status write64(GuestPhysAddr gpa, uint64_t value);
+    [[nodiscard]] base::Status write64(GuestPhysAddr gpa, uint64_t value);
 
     /**
      * Host-side hook invoked when a guest write hits a write-
@@ -103,16 +103,16 @@ class VirtualMachine
     }
 
     /** Fill the 2 MB hugepage at @p gpa with a repeated pattern. */
-    base::Status fillHugePage(GuestPhysAddr gpa, uint64_t pattern);
+    [[nodiscard]] base::Status fillHugePage(GuestPhysAddr gpa, uint64_t pattern);
 
     /** Fill one 4 KB guest page with a repeated pattern. */
-    base::Status fillPage(GuestPhysAddr gpa, uint64_t pattern);
+    [[nodiscard]] base::Status fillPage(GuestPhysAddr gpa, uint64_t pattern);
 
     /**
      * Scan the hugepage at @p gpa for words differing from
      * @p expected; returns their GPAs.
      */
-    base::Expected<std::vector<GuestPhysAddr>>
+    [[nodiscard]] base::Expected<std::vector<GuestPhysAddr>>
     scanHugePage(GuestPhysAddr gpa, uint64_t expected);
 
     /** First word of one 4 KB page, as seen through the EPT. */
@@ -131,7 +131,7 @@ class VirtualMachine
      * page of the hugepage at @p hp. One page-table walk per
      * hugepage (TLB-warm guest loop), then per-page stores.
      */
-    base::Status
+    [[nodiscard]] base::Status
     writePageWords(GuestPhysAddr hp,
                    const std::function<uint64_t(GuestPhysAddr)> &value);
 
@@ -176,11 +176,11 @@ class VirtualMachine
      * @p group: the host resolves the GPA and installs an IOVA -> HPA
      * IOPT mapping, consuming unmovable host pages in the process.
      */
-    base::Status iommuMap(iommu::GroupId group, IoVirtAddr iova,
+    [[nodiscard]] base::Status iommuMap(iommu::GroupId group, IoVirtAddr iova,
                           GuestPhysAddr gpa);
 
     /** Remove an IOVA mapping. */
-    base::Status iommuUnmap(iommu::GroupId group, IoVirtAddr iova);
+    [[nodiscard]] base::Status iommuUnmap(iommu::GroupId group, IoVirtAddr iova);
 
     /** Number of IOMMU groups (passthrough devices). */
     uint32_t iommuGroupCount() const;
@@ -216,7 +216,7 @@ class VirtualMachine
      * the same oracle to reuse profiling results across attempts
      * (Section 5.3.2); real attacks do not have it.
      */
-    base::Expected<HostPhysAddr> debugTranslate(GuestPhysAddr gpa) const;
+    [[nodiscard]] base::Expected<HostPhysAddr> debugTranslate(GuestPhysAddr gpa) const;
 
     /** Enumerate all currently usable guest 2 MB hugepage GPAs. */
     std::vector<GuestPhysAddr> hugePageGpas() const;

@@ -76,21 +76,21 @@ class PvDomain
      * XENMEM_decrease_reservation: return one owned frame to the Xen
      * heap (free_domheap_pages). The 2016-era release primitive.
      */
-    base::Status decreaseReservation(Pfn frame);
+    [[nodiscard]] base::Status decreaseReservation(Pfn frame);
 
     /**
      * Pin an owned frame as a page table of @p level: Xen validates
      * its current contents (every present entry must point at an
      * owned frame, PMD entries at pinned PTs) and write-protects it.
      */
-    base::Status pinPageTable(Pfn frame, PtLevel level);
+    [[nodiscard]] base::Status pinPageTable(Pfn frame, PtLevel level);
 
     /**
      * mmu_update hypercall: write @p entry into slot @p index of the
      * pinned table @p table. Xen validates the reference before
      * writing -- the guest cannot forge mappings *through this path*.
      */
-    base::Status mmuUpdate(Pfn table, unsigned index, uint64_t entry);
+    [[nodiscard]] base::Status mmuUpdate(Pfn table, unsigned index, uint64_t entry);
 
     /**
      * Direct-paging address resolution through a pinned PMD: walk
@@ -98,7 +98,7 @@ class PvDomain
      * trusting whatever bits are in memory right now (including
      * Rowhammer-corrupted ones -- there is no re-validation).
      */
-    base::Expected<Pfn> resolve(Pfn pmd, unsigned pmd_index,
+    [[nodiscard]] base::Expected<Pfn> resolve(Pfn pmd, unsigned pmd_index,
                                 unsigned pt_index) const;
 
     /** True when @p frame is currently pinned as a page table. */

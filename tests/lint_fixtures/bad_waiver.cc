@@ -1,0 +1,8 @@
+// hh-lint fixture for bad-waiver: a waiver without a `-- why` both
+// reports bad-waiver and suppresses nothing.
+
+int *
+unjustifiedWaiver()
+{
+    return new int(7); // hh-lint: allow(naked-new) // expect: naked-new, bad-waiver
+}

@@ -1,0 +1,22 @@
+// hh-lint fixture for missing-nodiscard: header declarations returning
+// Status/Expected must be [[nodiscard]] (a dropped Status is a
+// swallowed error). Not compiled; the types need not resolve.
+#ifndef HYPERHAMMER_TESTS_LINT_FIXTURES_MISSING_NODISCARD_H
+#define HYPERHAMMER_TESTS_LINT_FIXTURES_MISSING_NODISCARD_H
+
+namespace fixture {
+
+struct Widget
+{
+    base::Status tryPlug(int sub_block);            // expect: missing-nodiscard
+    base::Expected<int> translate(int addr) const;  // expect: missing-nodiscard
+
+    [[nodiscard]] base::Status annotatedIsFine(int sub_block);
+
+    // A plain data member is not a declaration-with-result:
+    base::Status status;
+};
+
+} // namespace fixture
+
+#endif // HYPERHAMMER_TESTS_LINT_FIXTURES_MISSING_NODISCARD_H

@@ -1,0 +1,17 @@
+// hh-lint fixture for naked-new: raw new/delete is banned; ownership
+// must be RAII (make_unique, containers).
+
+int *
+leakyAlloc()
+{
+    int *scratch = new int(42);     // expect: naked-new
+    delete scratch;                 // expect: naked-new
+    return new int[8];              // expect: naked-new
+}
+
+struct NoCopy
+{
+    // Deleted special members must NOT fire:
+    NoCopy(const NoCopy &) = delete;
+    NoCopy &operator=(const NoCopy &) = delete;
+};

@@ -1,0 +1,22 @@
+// hh-lint fixture: every line with an `// expect:` marker must produce
+// exactly that finding, and nothing else in the file may fire.
+// These files are never compiled; they only feed the linter self-test.
+#include <cstdlib>
+#include <random>
+
+int
+nondeterministicSample()
+{
+    std::random_device dev;     // expect: raw-rand
+    std::mt19937 gen(dev());    // expect: raw-rand
+    (void)gen;
+    return rand();              // expect: raw-rand
+}
+
+int
+mentionsAreFine()
+{
+    // rand() and mt19937 in comments or strings must not fire:
+    const char *doc = "uses rand() internally";
+    return doc[0];
+}

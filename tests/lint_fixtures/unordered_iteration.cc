@@ -1,0 +1,21 @@
+// hh-lint fixture for unordered-iteration: range-for over an
+// unordered container's implementation-defined order is banned.
+#include <unordered_map>
+#include <unordered_set>
+
+int
+hashOrderLeak()
+{
+    std::unordered_map<int, int> table;
+    std::unordered_set<int> members;
+    table[1] = 2;
+    members.insert(3);
+    int total = 0;
+    for (const auto &entry : table)     // expect: unordered-iteration
+        total += entry.second;
+    for (int member : members)          // expect: unordered-iteration
+        total += member;
+    // O(1) lookups on the same containers are fine:
+    total += static_cast<int>(table.count(1) + members.count(3));
+    return total;
+}

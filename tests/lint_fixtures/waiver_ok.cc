@@ -1,0 +1,16 @@
+// hh-lint fixture: a properly justified waiver suppresses its rule --
+// this file must produce zero findings (self-test treats any finding
+// without an `// expect:` marker as a failure).
+
+int *
+justifiedWaiver()
+{
+    // hh-lint: allow(naked-new) -- fixture proving justified waivers work
+    return new int(7);
+}
+
+int *
+sameLineWaiver()
+{
+    return new int(9); // hh-lint: allow(naked-new) -- same-line form
+}

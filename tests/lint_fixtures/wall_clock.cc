@@ -1,0 +1,28 @@
+// hh-lint fixture for the wall-clock rule: host time sources are
+// banned outside base/sim_clock.*; virtual time only.
+#include <chrono>
+#include <ctime>
+
+long
+wallClockNow()
+{
+    const auto tick =
+        std::chrono::steady_clock::now();       // expect: wall-clock
+    const std::time_t stamp = time(nullptr);    // expect: wall-clock
+    (void)tick;
+    return static_cast<long>(stamp);
+}
+
+struct FakeHost
+{
+    int clockCalls = 0;
+    // A member named clock() (the simulator's own accessor idiom)
+    // must NOT fire:
+    int clock() { return ++clockCalls; }
+};
+
+int
+simulatorClockIsFine(FakeHost &host)
+{
+    return host.clock();
+}

@@ -1,0 +1,40 @@
+// try_compile fixture: the lock-respecting twin of
+// thread_safety_violation.cc. Must compile warning-free under
+// -Werror=thread-safety, proving the failure next door comes from the
+// violation and not from broken annotation plumbing.
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        hh::base::MutexLock lock(mutex);
+        ++value;
+    }
+
+    int
+    lockedRead() const
+    {
+        hh::base::MutexLock lock(mutex);
+        return value;
+    }
+
+  private:
+    mutable hh::base::Mutex mutex;
+    int value HH_GUARDED_BY(mutex) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return counter.lockedRead();
+}

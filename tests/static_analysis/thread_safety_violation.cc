@@ -1,0 +1,39 @@
+// try_compile fixture: reading a HH_GUARDED_BY member without holding
+// its mutex. Under Clang with -Werror=thread-safety this must FAIL to
+// compile; tests/CMakeLists.txt asserts exactly that at configure
+// time (and that the _clean sibling still builds).
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        hh::base::MutexLock lock(mutex);
+        ++value;
+    }
+
+    int
+    racyRead() const
+    {
+        return value; // BAD: no lock held -> thread-safety error
+    }
+
+  private:
+    mutable hh::base::Mutex mutex;
+    int value HH_GUARDED_BY(mutex) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.bump();
+    return counter.racyRead();
+}

@@ -1,0 +1,399 @@
+#!/usr/bin/env python3
+"""hh-lint: HyperHammer's determinism & invariant linter.
+
+The simulator's headline guarantee -- bitwise-identical Monte-Carlo
+results at any thread count (DESIGN.md section 3.2) -- dies by a
+thousand cuts: a stray rand(), a wall-clock timestamp, an iteration
+over a hash table feeding a merge. Compilers accept all of those;
+hh-lint rejects them at CI time.
+
+Rules (see docs/static_analysis.md for the rationale and how to add one):
+
+  raw-rand            non-deterministic randomness outside src/base/rng.h
+  wall-clock          host time sources outside src/base/sim_clock.*
+  unordered-iteration range-for over unordered_{map,set}: order is
+                      implementation-defined, so anything built from it
+                      is not reproducible
+  float-accumulation  float/double compound accumulation outside
+                      src/base/stats.h (order-sensitive rounding)
+  missing-nodiscard   Status/Expected-returning declarations in headers
+                      without [[nodiscard]]
+  naked-new           raw new/delete (ownership must be RAII)
+  bad-waiver          an hh-lint waiver without a justification
+
+Waivers: append `// hh-lint: allow(rule-a,rule-b) -- why it is safe`
+to the offending line (or put the comment alone on the line above).
+A waiver without the `-- why` justification does not suppress anything
+and is itself reported as bad-waiver.
+
+Exit codes: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    tomllib = None
+
+RULES = {
+    "raw-rand": "non-deterministic randomness; use base::Rng / "
+                "base::SeedSequence (src/base/rng.h)",
+    "wall-clock": "host time source; charge virtual time to "
+                  "base::SimClock (src/base/sim_clock.h)",
+    "unordered-iteration": "iteration order over unordered containers is "
+                           "implementation-defined; iterate a sorted copy "
+                           "or a deterministic index instead",
+    "float-accumulation": "order-sensitive floating-point accumulation; "
+                          "use base::RunningStats (src/base/stats.h)",
+    "missing-nodiscard": "Status/Expected return silently discardable; "
+                         "declare it [[nodiscard]]",
+    "naked-new": "raw new/delete; use std::make_unique / containers "
+                 "so ownership is RAII",
+    "bad-waiver": "hh-lint waiver without a `-- justification`",
+}
+
+WAIVER_RE = re.compile(
+    r"//\s*hh-lint:\s*allow\(([^)]*)\)(?:\s*--\s*(\S[^\n]*))?")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([\w\-, ]+)")
+
+RAW_RAND_RE = re.compile(
+    r"(?<![\w.:>])(?:rand|srand|random|drand48|lrand48)\s*\("
+    r"|\brandom_device\b|\bmt19937(?:_64)?\b|\bminstd_rand0?\b"
+    r"|\bdefault_random_engine\b")
+# Bare `clock(` is not matched: the simulator's own SimClock accessors
+# are named clock(). Qualified std::/:: spellings still are.
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|(?<![\w.:>])(?:time|clock_gettime|gettimeofday)\s*\("
+    r"|(?:std::|[^\w:]::)clock\s*\(")
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;(){}]*>\s+(\w+)\s*[;{=(]")
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*[;={,)]")
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+)*(?:base::)?"
+    r"(?:Status|StatusOr|Expected)(?:<[^;]*)?"
+    r"(?:\s+\w+\s*\(|\s*$)")
+NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:<]")
+NAKED_DELETE_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w(*]")
+
+
+def strip_code(text):
+    """Blank out comments and string/char literals, preserving layout.
+
+    Keeps every finding regex honest: a mention of rand() in a comment
+    or a log string is not a finding.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (min(j, n) - i - 1)
+                       + (quote if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message=None):
+        self.path = str(path)
+        self.line = line
+        self.rule = rule
+        self.message = message or RULES[rule]
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_waivers(raw_lines):
+    """Map line number -> (set of waived rules, justified?).
+
+    A comment-only waiver line also covers the next source line.
+    """
+    waivers = {}
+    bad = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        justified = bool(m.group(2))
+        unknown = rules - set(RULES)
+        if unknown:
+            bad.append(Finding(
+                "?", idx, "bad-waiver",
+                f"waiver names unknown rule(s): {', '.join(sorted(unknown))}"))
+        if not justified:
+            bad.append(Finding("?", idx, "bad-waiver"))
+            rules = set()  # an unjustified waiver suppresses nothing
+        targets = [idx]
+        if line.lstrip().startswith("//"):
+            targets.append(idx + 1)
+        for t in targets:
+            waivers.setdefault(t, set()).update(rules)
+    return waivers, bad
+
+
+def collect_names(regex, texts):
+    names = set()
+    for text in texts:
+        for m in regex.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def range_for_re(names):
+    if not names:
+        return None
+    alt = "|".join(re.escape(n) for n in sorted(names))
+    # `for (... : name)` with optional object prefixes (this->, obj.).
+    return re.compile(
+        r"for\s*\([^;)]*:\s*(?:[\w\]\[]+(?:\.|->))*(?:" + alt + r")\s*\)")
+
+
+def sibling_header_text(path):
+    """Declarations often live in the .h next to a .cc; pull them in so
+    member names declared there are known when linting the .cc."""
+    if path.suffix not in (".cc", ".cpp"):
+        return None
+    for ext in (".h", ".hh"):
+        header = path.with_suffix(ext)
+        if header.exists():
+            try:
+                return strip_code(header.read_text(errors="replace"))
+            except OSError:
+                return None
+    return None
+
+
+def lint_file(path, enabled_for):
+    """Return the findings for one file. @p enabled_for maps a rule name
+    to True when this path is subject to it (allow_paths applied)."""
+    raw = path.read_text(errors="replace")
+    raw_lines = raw.splitlines()
+    stripped_lines = strip_code(raw).splitlines()
+    waivers, waiver_findings = parse_waivers(raw_lines)
+    findings = []
+    for f in waiver_findings:
+        f.path = str(path)
+        findings.append(f)
+
+    texts = [strip_code(raw)]
+    sibling = sibling_header_text(path)
+    if sibling:
+        texts.append(sibling)
+    unordered_names = collect_names(UNORDERED_DECL_RE, texts)
+    unordered_re = range_for_re(unordered_names)
+    float_names = collect_names(FLOAT_DECL_RE, texts[:1])
+    float_accum_re = None
+    if float_names:
+        alt = "|".join(re.escape(n) for n in sorted(float_names))
+        float_accum_re = re.compile(
+            r"(?<![\w.])(?:" + alt + r")\s*[+\-]=")
+
+    is_header = path.suffix in (".h", ".hh")
+
+    def check(rule, lineno, hit):
+        if not hit or not enabled_for(rule):
+            return
+        if rule in waivers.get(lineno, set()):
+            return
+        findings.append(Finding(path, lineno, rule))
+
+    for lineno, line in enumerate(stripped_lines, start=1):
+        check("raw-rand", lineno, RAW_RAND_RE.search(line))
+        check("wall-clock", lineno, WALL_CLOCK_RE.search(line))
+        if unordered_re:
+            check("unordered-iteration", lineno, unordered_re.search(line))
+        if float_accum_re:
+            check("float-accumulation", lineno,
+                  float_accum_re.search(line))
+        if NAKED_NEW_RE.search(line) or NAKED_DELETE_RE.search(line):
+            check("naked-new", lineno, True)
+        if is_header and NODISCARD_DECL_RE.match(line):
+            prev = stripped_lines[lineno - 2] if lineno >= 2 else ""
+            if "[[nodiscard]]" not in line and "[[nodiscard]]" not in prev:
+                check("missing-nodiscard", lineno, True)
+    return findings
+
+
+def load_config(path):
+    defaults = {
+        "roots": ["src", "bench", "tests", "examples", "include"],
+        "extensions": [".h", ".hh", ".cc", ".cpp"],
+        "exclude": [],
+        "allow": {},  # rule -> [path prefixes it does not apply to]
+    }
+    if path is None:
+        return defaults
+    if tomllib is None:
+        print("hh-lint: tomllib unavailable; cannot read config",
+              file=sys.stderr)
+        sys.exit(2)
+    try:
+        data = tomllib.loads(Path(path).read_text())
+    except (OSError, tomllib.TOMLDecodeError) as err:
+        print(f"hh-lint: bad config {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    lint = data.get("lint", {})
+    for key in ("roots", "extensions", "exclude"):
+        if key in lint:
+            defaults[key] = list(lint[key])
+    for rule, table in data.get("rules", {}).items():
+        if rule not in RULES:
+            print(f"hh-lint: config names unknown rule '{rule}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        defaults["allow"][rule] = list(table.get("allow_paths", []))
+    return defaults
+
+
+def iter_files(paths, config, repo_root):
+    exts = tuple(config["extensions"])
+    exclude = [repo_root / e for e in config["exclude"]]
+    for p in paths:
+        p = Path(p)
+        candidates = (sorted(p.rglob("*")) if p.is_dir() else [p])
+        for f in candidates:
+            if not (f.is_file() and f.suffix in exts):
+                continue
+            if any(f.is_relative_to(e) for e in exclude):
+                continue
+            yield f
+
+
+def relpath(path, repo_root):
+    try:
+        return str(path.resolve().relative_to(repo_root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def run_lint(paths, config, repo_root):
+    findings = []
+    for f in iter_files(paths, config, repo_root):
+        rel = relpath(f, repo_root)
+
+        def enabled_for(rule, rel=rel):
+            return not any(rel.startswith(prefix)
+                           for prefix in config["allow"].get(rule, []))
+
+        for finding in lint_file(f, enabled_for):
+            finding.path = rel
+            findings.append(finding)
+    return findings
+
+
+def self_test(fixture_dir, repo_root):
+    """Assert each rule fires exactly where its fixture says it should."""
+    config = {"roots": [], "extensions": [".h", ".hh", ".cc", ".cpp"],
+              "exclude": [], "allow": {}}
+    expected = set()
+    for f in iter_files([fixture_dir], config, repo_root):
+        rel = relpath(f, repo_root)
+        for lineno, line in enumerate(
+                f.read_text(errors="replace").splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in m.group(1).split(","):
+                    rule = rule.strip()
+                    if rule not in RULES:
+                        print(f"self-test: {rel}:{lineno} names unknown "
+                              f"rule '{rule}'", file=sys.stderr)
+                        return 2
+                    expected.add((rel, lineno, rule))
+    actual = {f.key() for f in run_lint([fixture_dir], config, repo_root)}
+    missing = expected - actual
+    surprise = actual - expected
+    for path, line, rule in sorted(missing):
+        print(f"self-test: MISSING  {path}:{line}: [{rule}] did not fire")
+    for path, line, rule in sorted(surprise):
+        print(f"self-test: SURPRISE {path}:{line}: [{rule}] fired "
+              "without an // expect marker")
+    uncovered = set(RULES) - {rule for _, _, rule in expected}
+    for rule in sorted(uncovered):
+        print(f"self-test: UNCOVERED rule [{rule}] has no fixture")
+    if missing or surprise or uncovered:
+        return 1
+    print(f"self-test: ok ({len(expected)} expectations, "
+          f"all {len(RULES)} rules covered)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="hh-lint", description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files/dirs to lint (default: config roots)")
+    parser.add_argument("--config", default=None,
+                        help="path to .hh-lint.toml")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--report", default=None,
+                        help="also write a JSON findings report here")
+    parser.add_argument("--self-test", metavar="FIXTURE_DIR",
+                        help="run the rule fixtures instead of linting")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+
+    if args.list_rules:
+        for rule, message in RULES.items():
+            print(f"{rule}: {message}")
+        return 0
+
+    if args.self_test:
+        return self_test(Path(args.self_test), repo_root)
+
+    config_path = args.config
+    if config_path is None:
+        default = repo_root / ".hh-lint.toml"
+        config_path = default if default.exists() else None
+    config = load_config(config_path)
+
+    paths = args.paths or [repo_root / r for r in config["roots"]]
+    findings = run_lint(paths, config, repo_root)
+    findings.sort(key=Finding.key)
+
+    as_json = [{"file": f.path, "line": f.line, "rule": f.rule,
+                "message": f.message} for f in findings]
+    if args.format == "json":
+        print(json.dumps(as_json, indent=2))
+    else:
+        for f in findings:
+            print(f)
+        print(f"hh-lint: {len(findings)} finding(s)")
+    if args.report:
+        Path(args.report).write_text(json.dumps(as_json, indent=2) + "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
