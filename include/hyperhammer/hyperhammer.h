@@ -4,6 +4,7 @@
  *
  * The library is layered bottom-up (see DESIGN.md):
  *   hh::base     -- clock, RNG, status, stats
+ *   hh::fault    -- deterministic fault-injection plans/sites
  *   hh::dram     -- DIMM model with the Rowhammer fault model
  *   hh::mm       -- Linux-style buddy allocator
  *   hh::kvm      -- EPT MMU with the NX-hugepage countermeasure
@@ -44,6 +45,7 @@
 #include "dram/fault_model.h"
 #include "dram/memory_backend.h"
 #include "dram/trr.h"
+#include "fault/fault.h"
 #include "iommu/viommu.h"
 #include "kvm/ept.h"
 #include "kvm/mmu.h"

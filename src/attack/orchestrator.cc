@@ -19,6 +19,7 @@ BatchAggregates::add(const AttemptOutcome &outcome)
     demotions.add(static_cast<double>(outcome.demotions));
     changedPages.add(static_cast<double>(outcome.changedPages));
     epteCandidates.add(static_cast<double>(outcome.epteCandidates));
+    retries.add(static_cast<double>(outcome.retries));
 }
 
 void
@@ -30,6 +31,7 @@ BatchAggregates::merge(const BatchAggregates &other)
     demotions.merge(other.demotions);
     changedPages.merge(other.changedPages);
     epteCandidates.merge(other.epteCandidates);
+    retries.merge(other.retries);
 }
 
 double
@@ -85,6 +87,13 @@ HyperHammerAttack::plantSecret(sys::HostSystem &on_host)
     // a host kernel page holding a magic value.
     auto frame = on_host.buddy().allocPages(
         0, mm::MigrateType::Unmovable, mm::PageUse::KernelData);
+    // Under fault injection an AllocFail can land on this very
+    // allocation; retry across a few occurrences instead of dying.
+    // The fault-free path keeps the original single-shot fatal.
+    for (unsigned r = 0; !frame && on_host.faults() != nullptr && r < 16;
+         ++r)
+        frame = on_host.buddy().allocPages(
+            0, mm::MigrateType::Unmovable, mm::PageUse::KernelData);
     if (!frame)
         base::fatal("cannot allocate the host secret page");
     PlantedSecret planted;
@@ -234,6 +243,9 @@ HyperHammerAttack::attemptIn(sys::HostSystem &on_host,
                              uint64_t secret_value) const
 {
     AttemptOutcome outcome;
+    fault::FaultInjector *injector = on_host.faults();
+    const uint64_t fired_before =
+        injector != nullptr ? injector->totalFired() : 0;
     const base::SimTime start = on_host.clock().now();
 
     const std::vector<VulnerableBit> targets = relocateTargets(current);
@@ -243,17 +255,64 @@ HyperHammerAttack::attemptIn(sys::HostSystem &on_host,
         return outcome;
     }
 
-    PageSteering steering(current, on_host.clock(), cfg.steering);
+    PageSteering steering(current, on_host.clock(), cfg.steering,
+                          injector);
     const uint64_t spray = cfg.sprayBytes
         ? cfg.sprayBytes
         : current.memorySize(); // everything that remains
-    const SteeringResult steered = steering.steer(targets, spray);
+
+    // The steer() sequence, inlined so the release step can retry.
+    // Retries are keyed on *detected* faults (misses / refused
+    // unplugs), never on probabilistic outcomes, so with a null
+    // injector this is the exact pre-fault call sequence.
+    SteeringResult steered;
+    const base::SimTime steer_start = on_host.clock().now();
+    steered.iovaMappings = steering.exhaustNoisePages();
+    steering.releaseVulnerable(targets, steered);
+    if (injector != nullptr) {
+        base::SimTime backoff = cfg.retryBackoff;
+        uint64_t new_faults =
+            steered.steerMisses + steered.failedUnplugs;
+        for (unsigned r = 0; r < cfg.maxPhaseRetries && new_faults > 0;
+             ++r) {
+            on_host.clock().advance(backoff);
+            outcome.backoffTime += backoff;
+            backoff *= 2;
+            ++outcome.retries;
+            const uint64_t before =
+                steered.steerMisses + steered.failedUnplugs;
+            steering.releaseVulnerable(targets, steered);
+            new_faults =
+                steered.steerMisses + steered.failedUnplugs - before;
+        }
+    }
+    std::unordered_set<uint64_t> excluded;
+    for (const GuestPhysAddr &hp : steered.releasedHugePages)
+        excluded.insert(hp.value());
+    steered.demotions = steering.sprayEptes(spray, excluded);
+    steered.sprayedBytes = steered.demotions * kHugePageSize;
+    steered.elapsed = on_host.clock().now() - steer_start;
     outcome.releasedSubBlocks = steered.releasedSubBlocks;
     outcome.demotions = steered.demotions;
 
-    Exploiter exploiter(current, on_host.clock(), cfg.exploit);
+    Exploiter exploiter(current, on_host.clock(), cfg.exploit,
+                        injector);
     exploiter.markPages(current.hugePageGpas());
     exploiter.hammerTargets(targets);
+    if (injector != nullptr) {
+        base::SimTime backoff = cfg.retryBackoff;
+        uint64_t new_lost = exploiter.lostFlips();
+        for (unsigned r = 0; r < cfg.maxPhaseRetries && new_lost > 0;
+             ++r) {
+            on_host.clock().advance(backoff);
+            outcome.backoffTime += backoff;
+            backoff *= 2;
+            ++outcome.retries;
+            const uint64_t before = exploiter.lostFlips();
+            exploiter.hammerTargets(targets);
+            new_lost = exploiter.lostFlips() - before;
+        }
+    }
 
     const std::vector<GuestPhysAddr> changed =
         exploiter.detectMappingChanges();
@@ -275,6 +334,8 @@ HyperHammerAttack::attemptIn(sys::HostSystem &on_host,
     }
 
     outcome.duration = on_host.clock().now() - start;
+    if (injector != nullptr)
+        outcome.faultsFired = injector->totalFired() - fired_before;
     return outcome;
 }
 
@@ -282,9 +343,19 @@ AttackResult
 HyperHammerAttack::run()
 {
     AttackResult result;
-    HH_ASSERT(!bits.empty()); // profilePhase() first
-
     const base::SimTime run_start = host.clock().now();
+    // No exploitable bits (profilePhase() not run, or a fault-heavy
+    // profile came back empty): degrade to a partial result instead
+    // of asserting.
+    if (bits.empty()) {
+        result.status = base::ErrorCode::NotFound;
+        result.degraded = true;
+        if (host.faults() != nullptr)
+            result.faultsInjected = host.faults()->totalFired();
+        return result;
+    }
+
+    unsigned empty_streak = 0;
     for (unsigned attempt = 0; attempt < cfg.maxAttempts; ++attempt) {
         const base::SimTime attempt_start = host.clock().now();
         if (!machine)
@@ -301,12 +372,44 @@ HyperHammerAttack::run()
             result.success = true;
             break;
         }
+        // Re-profiling fallback: only under fault injection (so the
+        // fault-free path is untouched), and only after several
+        // consecutive attempts found none of the profiled cells.
+        if (host.faults() != nullptr) {
+            empty_streak =
+                outcome.bitsTargeted == 0 ? empty_streak + 1 : 0;
+            if (empty_streak >= cfg.reprofileAfterEmpty) {
+                ++result.reprofiles;
+                empty_streak = 0;
+                base::inform("attack: lost the exploitable cells; "
+                             "re-profiling");
+                (void)profilePhase();
+                if (bits.empty()) {
+                    result.status = base::ErrorCode::NotFound;
+                    result.degraded = true;
+                    break;
+                }
+            }
+        }
     }
 
     for (const AttemptOutcome &outcome : result.outcomes)
         result.stats.add(outcome);
     // Includes VM respawn time, which dominates real attempts.
     result.totalTime = host.clock().now() - run_start;
+    if (result.success)
+        result.status = base::Status::success();
+    else if (result.status.ok())
+        result.status = base::ErrorCode::LimitExceeded;
+    if (host.faults() != nullptr)
+        result.faultsInjected = host.faults()->totalFired();
+    // Degraded means "ended without escalation while faults were
+    // interfering" -- a fault-free LimitExceeded is just a failed
+    // attack, not a degraded one.
+    if (result.success)
+        result.degraded = false;
+    else if (result.faultsInjected > 0)
+        result.degraded = true;
     return result;
 }
 
@@ -338,7 +441,12 @@ HyperHammerAttack::runTrial(uint64_t trial) const
 AttackResult
 HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads)
 {
-    HH_ASSERT(!bits.empty()); // profilePhase() first
+    if (bits.empty()) {
+        AttackResult result;
+        result.status = base::ErrorCode::NotFound;
+        result.degraded = true;
+        return result;
+    }
     if (threads == 0)
         threads = base::ThreadPool::defaultThreads();
     // Trials own their hosts; the profiling VM is not reusable here.
@@ -363,10 +471,15 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads)
         one.add(outcomes[trial]);
         result.stats.merge(one);
         result.totalTime += outcomes[trial].duration;
+        result.faultsInjected += outcomes[trial].faultsFired;
         result.outcomes.push_back(outcomes[trial]);
     }
     result.attempts = static_cast<unsigned>(counted);
     result.success = first_success < attempts;
+    if (!result.success) {
+        result.status = base::ErrorCode::LimitExceeded;
+        result.degraded = result.faultsInjected > 0;
+    }
     return result;
 }
 

@@ -39,6 +39,20 @@ struct AttackConfig
     uint64_t sprayBytes = 0;
     /** Give up after this many attempts. */
     unsigned maxAttempts = 1'000;
+    /**
+     * Per-phase retries when injected faults are detected (lost flips
+     * after hammering, steering misses / refused unplugs after the
+     * release step). Retries never trigger on the fault-free path, so
+     * a null FaultPlan keeps pre-fault behaviour bit for bit.
+     */
+    unsigned maxPhaseRetries = 3;
+    /** Initial retry backoff (virtual time); doubles per retry. */
+    base::SimTime retryBackoff = 10 * base::kMillisecond;
+    /**
+     * Consecutive attempts with zero relocatable targets (under fault
+     * injection) before run() falls back to re-profiling.
+     */
+    unsigned reprofileAfterEmpty = 3;
     ProfilerConfig profiler;
     SteeringConfig steering;
     ExploitConfig exploit;
@@ -64,6 +78,12 @@ struct AttemptOutcome
     uint64_t changedPages = 0;
     uint64_t epteCandidates = 0;
     base::SimTime duration = 0;
+    /** Phase retries taken after detected faults. */
+    unsigned retries = 0;
+    /** Virtual time spent in retry backoff. */
+    base::SimTime backoffTime = 0;
+    /** Faults the host injector fired during this attempt. */
+    uint64_t faultsFired = 0;
 };
 
 /**
@@ -80,6 +100,7 @@ struct BatchAggregates
     base::RunningStats demotions;
     base::RunningStats changedPages;
     base::RunningStats epteCandidates;
+    base::RunningStats retries;
 
     /** Fold one attempt in. */
     void add(const AttemptOutcome &outcome);
@@ -97,6 +118,19 @@ struct AttackResult
     std::vector<AttemptOutcome> outcomes;
     /** Merged per-attempt statistics over @ref outcomes. */
     BatchAggregates stats;
+    /**
+     * How the run ended: Ok on escalation, LimitExceeded when
+     * maxAttempts ran out, NotFound when no exploitable bits remained
+     * (even after re-profiling). A non-Ok status still carries the
+     * partial outcomes -- the attack degrades, it does not abort.
+     */
+    base::Status status = base::Status::success();
+    /** True when the run ended early on a degraded path. */
+    bool degraded = false;
+    /** Re-profiling fallbacks taken during run(). */
+    unsigned reprofiles = 0;
+    /** Total faults the host injector fired across the run. */
+    uint64_t faultsInjected = 0;
 
     /** Mean virtual duration of one attempt, seconds. */
     double avgAttemptSeconds() const;

@@ -18,8 +18,10 @@ constexpr base::SimTime kDemotionFaultCost = 100 * base::kMicrosecond;
 } // namespace
 
 PageSteering::PageSteering(vm::VirtualMachine &machine,
-                           base::SimClock &clock, SteeringConfig config)
-    : machine(machine), clock(clock), cfg(config)
+                           base::SimClock &clock, SteeringConfig config,
+                           fault::FaultInjector *fault_injector)
+    : machine(machine), clock(clock), cfg(config),
+      faultInjector(fault_injector)
 {}
 
 uint64_t
@@ -59,24 +61,42 @@ PageSteering::releaseVulnerable(const std::vector<VulnerableBit> &targets,
     auto &driver = machine.memDriver();
     driver.setSuppressAutoPlug(true);
 
+    // Seed the dedup set from earlier calls so a retry after partial
+    // failure only reworks the remaining targets.
     std::unordered_set<uint64_t> released;
+    for (const GuestPhysAddr &hp : result.releasedHugePages)
+        released.insert(hp.value());
+    uint64_t released_now = 0;
     for (const VulnerableBit &bit : targets) {
         const GuestPhysAddr hp = bit.victimHugePage;
         if (released.count(hp.value()))
             continue;
+        // Steering miss: the modified driver picks the wrong
+        // sub-block, so this target's release never happens (the
+        // negotiation time is still spent).
+        if (const fault::FaultEntry *f = HH_FAULT_POINT(
+                faultInjector, fault::FaultSite::SteerRelease)) {
+            if (f->kind == fault::FaultKind::SteerMiss) {
+                clock.advance(kUnplugCost);
+                ++result.steerMisses;
+                continue;
+            }
+        }
         const base::Status status = driver.unplugSpecific(hp);
         clock.advance(kUnplugCost);
         if (!status.ok()) {
             base::warn("page steering: unplug of GPA %#llx failed: %s",
                        static_cast<unsigned long long>(hp.value()),
                        base::errorName(status.error()));
+            ++result.failedUnplugs;
             continue;
         }
         released.insert(hp.value());
+        ++released_now;
         result.releasedHugePages.push_back(hp);
     }
-    result.releasedSubBlocks += released.size();
-    return released.size();
+    result.releasedSubBlocks += released_now;
+    return released_now;
 }
 
 void

@@ -24,6 +24,7 @@
 
 #include "attack/types.h"
 #include "base/sim_clock.h"
+#include "fault/fault.h"
 #include "vm/virtual_machine.h"
 
 namespace hh::attack {
@@ -50,6 +51,10 @@ struct SteeringResult
     uint64_t demotions = 0;
     uint64_t sprayedBytes = 0;
     base::SimTime elapsed = 0;
+    /** Releases skipped by injected steering misses. */
+    uint64_t steerMisses = 0;
+    /** Unplug requests the device refused (Busy, quarantine, ...). */
+    uint64_t failedUnplugs = 0;
     std::vector<GuestPhysAddr> releasedHugePages;
 };
 
@@ -60,7 +65,8 @@ class PageSteering
 {
   public:
     PageSteering(vm::VirtualMachine &machine, base::SimClock &clock,
-                 SteeringConfig config);
+                 SteeringConfig config,
+                 fault::FaultInjector *fault_injector = nullptr);
 
     /**
      * Step 1: create 2 MB-spaced IOVA mappings of the donor page until
@@ -77,6 +83,9 @@ class PageSteering
     /**
      * Step 2: release the sub-blocks containing the victim hugepages
      * of @p targets. Suppresses the driver's auto re-plug first.
+     * Hugepages already listed in @p result.releasedHugePages are
+     * skipped, so a retry after partial failure only reworks the
+     * remainder.
      *
      * @return hugepages actually released
      */
@@ -101,6 +110,7 @@ class PageSteering
     vm::VirtualMachine &machine;
     base::SimClock &clock;
     SteeringConfig cfg;
+    fault::FaultInjector *faultInjector;
 
     /** Write the Listing-1 idling function into a hugepage. */
     void writeIdlingFunction(GuestPhysAddr huge_page);

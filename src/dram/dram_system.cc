@@ -28,7 +28,15 @@ uint64_t
 DramSystem::read64(HostPhysAddr addr)
 {
     clock.advance(cfg.timing.rowHitLatency);
-    return data.read64(addr);
+    uint64_t value = data.read64(addr);
+    // Transient read corruption: the returned word is wrong, the
+    // stored value is untouched (a re-read sees the true data).
+    if (const fault::FaultEntry *f =
+            HH_FAULT_POINT(faultInjector, fault::FaultSite::DramRead)) {
+        if (f->kind == fault::FaultKind::ReadCorruption)
+            value ^= 1ull << (f->param % 64);
+    }
+    return value;
 }
 
 void
@@ -166,11 +174,21 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
     const uint64_t window_cap = std::max<uint64_t>(
         1, cfg.timing.refreshWindow
                / (per_activation * agg_rows.size()));
-    const uint64_t disturbance = static_cast<uint64_t>(
+    uint64_t disturbance = static_cast<uint64_t>(
         static_cast<double>(std::min(rounds, window_cap))
         * amplification);
     const unsigned windows = static_cast<unsigned>(std::min<uint64_t>(
         64, (rounds + window_cap - 1) / window_cap));
+
+    // Refresh jitter: an early refresh truncates this burst, shaving
+    // param percent off the accumulated disturbance.
+    if (const fault::FaultEntry *f =
+            HH_FAULT_POINT(faultInjector, fault::FaultSite::DramRefresh)) {
+        if (f->kind == fault::FaultKind::RefreshJitter) {
+            const uint64_t pct = std::min<uint64_t>(f->param, 100);
+            disturbance -= disturbance * pct / 100;
+        }
+    }
 
     // Accumulate disturbance on neighbouring victim rows.
     const RowId max_row =
@@ -180,6 +198,16 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
     std::map<std::pair<BankId, RowId>, uint64_t> victims;
     for (const auto &[key, bank_count] : agg_rows) {
         const auto [bank, row] = key;
+        // Spurious TRR: the sampler catches an aggressor it would
+        // normally miss. Consulted per aggressor row, before the
+        // modeled sampler, so the rng stream is untouched on fire.
+        if (const fault::FaultEntry *f = HH_FAULT_POINT(
+                faultInjector, fault::FaultSite::DramTrr)) {
+            if (f->kind == fault::FaultKind::SpuriousTrr) {
+                ++trrSuppressed;
+                continue;
+            }
+        }
         if (trr.suppresses(bank_count, rng.uniform())) {
             ++trrSuppressed;
             continue;
@@ -216,7 +244,16 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
         ++flips_per_word[event.wordAddr.value()];
 
     for (const FlipEvent &event : candidates) {
-        if (!ecc.flipsVisible(flips_per_word[event.wordAddr.value()])) {
+        bool visible =
+            ecc.flipsVisible(flips_per_word[event.wordAddr.value()]);
+        // ECC miscorrection: the controller gets it backwards -- a
+        // correctable flip slips through, or a visible one is eaten.
+        if (const fault::FaultEntry *f = HH_FAULT_POINT(
+                faultInjector, fault::FaultSite::DramEcc)) {
+            if (f->kind == fault::FaultKind::EccMiscorrect)
+                visible = !visible;
+        }
+        if (!visible) {
             ++eccCorrected;
             continue;
         }

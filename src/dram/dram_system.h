@@ -18,6 +18,7 @@
 #include "base/rng.h"
 #include "base/sim_clock.h"
 #include "base/types.h"
+#include "fault/fault.h"
 #include "dram/address_mapping.h"
 #include "dram/ecc.h"
 #include "dram/fault_model.h"
@@ -183,6 +184,15 @@ class DramSystem
     /** Total TRR-suppressed aggressor activations (bursts). */
     uint64_t trrSuppressions() const { return trrSuppressed; }
 
+    /**
+     * Install (or clear) the host's fault injector. Not owned; must
+     * outlive this DramSystem. Null means the fault-free fast path.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        faultInjector = injector;
+    }
+
   private:
     DramConfig cfg;
     base::SimClock &clock;
@@ -191,6 +201,7 @@ class DramSystem
     TrrModel trr;
     EccModel ecc;
     base::Rng rng;
+    fault::FaultInjector *faultInjector = nullptr;
 
     /** Per-bank open row (for timedAccess); kInvalidRow when closed. */
     static constexpr RowId kNoOpenRow = ~0ull;

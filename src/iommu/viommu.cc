@@ -35,6 +35,11 @@ IoPageTable::IoPageTable(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
     : dram(dram), buddy(buddy), owner(owner_id)
 {
     auto page = allocTablePage();
+    // An injected AllocFail can land on the root allocation; retry a
+    // few occurrences. A genuine OOM fails every retry identically and
+    // still reaches the fatal, so the fault-free path is unchanged.
+    for (unsigned r = 0; !page && r < 16; ++r)
+        page = allocTablePage();
     if (!page)
         base::fatal("cannot allocate IOPT root: host out of memory");
     root = *page;

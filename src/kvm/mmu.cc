@@ -45,12 +45,20 @@ Mmu::allocTablePage()
 EptEntry
 Mmu::readEntry(Pfn table, unsigned index) const
 {
+    // A corrupted table pointer (rowhammer flip or injected read
+    // corruption during the walk) can point beyond physical memory;
+    // real hardware raises an EPT misconfiguration there, which we
+    // model as a non-present entry rather than a wild read.
+    if (table >= dram.pageCount())
+        return EptEntry();
     return EptEntry(dram.read64(entryAddr(table, index)));
 }
 
 void
 Mmu::writeEntry(Pfn table, unsigned index, EptEntry entry)
 {
+    if (table >= dram.pageCount())
+        return;
     dram.write64(entryAddr(table, index), entry.raw());
 }
 

@@ -207,6 +207,15 @@ BuddyAllocator::allocPages(unsigned order, MigrateType mt, PageUse use,
                            uint16_t owner)
 {
     HH_ASSERT(order < kMaxOrder);
+    // Allocation failure under pressure: param selects a PageUse to
+    // starve (0 = every class).
+    if (const fault::FaultEntry *f =
+            HH_FAULT_POINT(faultInjector, fault::FaultSite::MmAlloc)) {
+        if (f->kind == fault::FaultKind::AllocFail
+            && (f->param == 0
+                || f->param == static_cast<uint64_t>(use)))
+            return base::ErrorCode::NoMemory;
+    }
     if (order == 0 && pcpCfg.highWatermark > 0) {
         auto &cache = pcp[static_cast<unsigned>(mt)];
         if (cache.empty()) {

@@ -25,6 +25,7 @@
 
 #include "base/status.h"
 #include "base/types.h"
+#include "fault/fault.h"
 #include "mm/page.h"
 
 namespace hh::mm {
@@ -152,6 +153,15 @@ class BuddyAllocator
      */
     void checkConsistency() const;
 
+    /**
+     * Install (or clear) the host's fault injector. Not owned; must
+     * outlive this allocator. Null means the fault-free fast path.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        faultInjector = injector;
+    }
+
   private:
     struct FreeList
     {
@@ -167,6 +177,7 @@ class BuddyAllocator
     /** PCP front-end: order-0 page stacks per migrate type. */
     PcpConfig pcpCfg;
     std::array<std::vector<Pfn>, kMigrateTypes> pcp;
+    fault::FaultInjector *faultInjector = nullptr;
 
     void listPush(MigrateType mt, unsigned order, Pfn pfn);
     void listRemove(MigrateType mt, unsigned order, Pfn pfn);

@@ -87,13 +87,28 @@ SystemConfig::withSeed(uint64_t new_seed)
     return *this;
 }
 
+SystemConfig &
+SystemConfig::withFaults(fault::FaultPlan plan)
+{
+    faults = std::move(plan);
+    return *this;
+}
+
 HostSystem::HostSystem(SystemConfig config)
     : cfg(std::move(config)), rng(base::mix64(cfg.seed, 0x4057))
 {
+    // The injector's root seed mixes the host seed into the plan seed
+    // so per-trial host clones (same plan, different host seed) draw
+    // independent deterministic fault streams.
+    if (!cfg.faults.empty())
+        injector = std::make_unique<fault::FaultInjector>(
+            cfg.faults, base::mix64(cfg.seed, cfg.faults.seed));
     dramSys = std::make_unique<dram::DramSystem>(cfg.dram, simClock);
+    dramSys->setFaultInjector(injector.get());
     mm::BuddyConfig buddy_cfg;
     buddy_cfg.totalPages = cfg.dram.totalBytes / kPageSize;
     allocator = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
+    allocator->setFaultInjector(injector.get());
     bootHost();
 }
 
@@ -117,8 +132,13 @@ HostSystem::bootHost()
     for (uint64_t i = 0; i < total; ++i) {
         auto page = allocator->allocPages(0, mm::MigrateType::Unmovable,
                                           mm::PageUse::KernelData);
-        if (!page)
+        if (!page) {
+            // An injected failure hits one allocation, not the boot:
+            // skip the page and keep the footprint approximate.
+            if (injector)
+                continue;
             base::fatal("host boot: out of memory for kernel pages");
+        }
         // Statistically interleave: transient/total of the stream.
         if (rng.below(total) < transient && to_free.size() < transient)
             to_free.push_back(*page);
@@ -136,8 +156,11 @@ HostSystem::bootHost()
     for (uint64_t i = 0; i < cfg.noise.pageCachePages; ++i) {
         auto page = allocator->allocPages(0, mm::MigrateType::Movable,
                                           mm::PageUse::PageCache);
-        if (!page)
+        if (!page) {
+            if (injector)
+                continue;
             base::fatal("host boot: out of memory for page cache");
+        }
         pageCachePages.push_back(*page);
     }
 
@@ -190,7 +213,7 @@ HostSystem::createVm(const vm::VmConfig &vm_cfg)
     }
 
     auto machine = std::make_unique<vm::VirtualMachine>(
-        *dramSys, *allocator, vm_cfg, nextVmId++);
+        *dramSys, *allocator, vm_cfg, nextVmId++, injector.get());
 
     for (Pfn block : transient_blocks)
         allocator->freePages(block, 9);

@@ -22,6 +22,7 @@
 #include "base/rng.h"
 #include "base/sim_clock.h"
 #include "dram/dram_system.h"
+#include "fault/fault.h"
 #include "mm/buddy_allocator.h"
 #include "vm/virtual_machine.h"
 
@@ -56,6 +57,11 @@ struct SystemConfig
     dram::DramConfig dram;
     NoiseConfig noise;
     uint64_t seed = 1;
+    /**
+     * Fault-injection schedule. Empty (the default) means no injector
+     * is built and every HH_FAULT_POINT is a branch on a null pointer.
+     */
+    fault::FaultPlan faults;
 
     /** Paper system S1: i3-10100 host. */
     static SystemConfig s1(uint64_t seed = 1);
@@ -68,6 +74,8 @@ struct SystemConfig
     SystemConfig &withMemory(uint64_t bytes);
     /** Replace the RNG seed everywhere it matters. */
     SystemConfig &withSeed(uint64_t seed);
+    /** Install a fault-injection plan. */
+    SystemConfig &withFaults(fault::FaultPlan plan);
 };
 
 /**
@@ -87,6 +95,9 @@ class HostSystem
     base::SimClock &clock() { return simClock; }
     dram::DramSystem &dram() { return *dramSys; }
     mm::BuddyAllocator &buddy() { return *allocator; }
+
+    /** The host's fault injector; null when no plan is installed. */
+    fault::FaultInjector *faults() { return injector.get(); }
 
     /** Create (boot) a VM. */
     std::unique_ptr<vm::VirtualMachine> createVm(const vm::VmConfig &cfg);
@@ -122,6 +133,7 @@ class HostSystem
   private:
     SystemConfig cfg;
     base::SimClock simClock;
+    std::unique_ptr<fault::FaultInjector> injector;
     std::unique_ptr<dram::DramSystem> dramSys;
     std::unique_ptr<mm::BuddyAllocator> allocator;
     base::Rng rng;

@@ -6,8 +6,9 @@
 
 namespace hh::sys {
 
-Ksm::Ksm(dram::DramSystem &dram, mm::BuddyAllocator &buddy, bool enabled)
-    : dram(dram), buddy(buddy), on(enabled)
+Ksm::Ksm(dram::DramSystem &dram, mm::BuddyAllocator &buddy, bool enabled,
+         fault::FaultInjector *fault_injector)
+    : dram(dram), buddy(buddy), on(enabled), faultInjector(fault_injector)
 {}
 
 Ksm::~Ksm()
@@ -99,6 +100,15 @@ Ksm::scanRange(vm::VirtualMachine &machine, GuestPhysAddr start,
         // each other on real systems too).
         if (buddy.frame(frame).pinned)
             continue;
+        // Scan race: a guest write dirties the page mid-scan, so the
+        // scanner skips it this pass (real KSM rechecks the checksum).
+        if (const fault::FaultEntry *f = HH_FAULT_POINT(
+                faultInjector, fault::FaultSite::KsmScan)) {
+            if (f->kind == fault::FaultKind::ScanRace) {
+                ++ksmStats.raced;
+                continue;
+            }
+        }
         ++ksmStats.pagesScanned;
 
         if (frameToHash.count(frame))

@@ -42,6 +42,8 @@ struct KsmStats
     uint64_t cowBreaks = 0;
     /** Frames currently shared by >= 2 mappings. */
     uint64_t sharedFrames = 0;
+    /** Pages skipped because a guest write raced the scanner. */
+    uint64_t raced = 0;
 };
 
 /**
@@ -52,7 +54,7 @@ class Ksm
 {
   public:
     Ksm(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
-        bool enabled);
+        bool enabled, fault::FaultInjector *fault_injector = nullptr);
     ~Ksm();
 
     Ksm(const Ksm &) = delete;
@@ -91,6 +93,7 @@ class Ksm
     dram::DramSystem &dram;
     mm::BuddyAllocator &buddy;
     bool on;
+    fault::FaultInjector *faultInjector;
     KsmStats ksmStats;
 
     /** Content hash -> stable node. */

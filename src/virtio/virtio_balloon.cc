@@ -29,6 +29,13 @@ VirtioBalloonDevice::inflatePage(GuestPhysAddr gpa)
         return base::ErrorCode::InvalidArgument;
     if (inflated.count(gpa.value()))
         return base::ErrorCode::Exists;
+    // Delayed reclaim: the host queues the inflate but cannot free the
+    // page this round; the guest may retry.
+    if (const fault::FaultEntry *f = HH_FAULT_POINT(
+            faultInjector, fault::FaultSite::BalloonInflate)) {
+        if (f->kind == fault::FaultKind::DelayedReclaim)
+            return base::ErrorCode::Busy;
+    }
     auto leaf = mmu.leafEntry(gpa);
     if (!leaf)
         return base::Status(leaf.error());

@@ -23,6 +23,7 @@
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
+#include "fault/fault.h"
 #include "kvm/mmu.h"
 #include "mm/buddy_allocator.h"
 
@@ -40,13 +41,15 @@ class VirtioBalloonDevice
     VirtioBalloonDevice(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
                         kvm::Mmu &mmu, uint16_t owner_id,
                         GuestPhysAddr region_start = GuestPhysAddr(0),
-                        uint64_t region_bytes = 0)
+                        uint64_t region_bytes = 0,
+                        fault::FaultInjector *fault_injector = nullptr)
         : dram(dram),
           buddy(buddy),
           mmu(mmu),
           owner(owner_id),
           regionStart(region_start),
-          regionBytes(region_bytes)
+          regionBytes(region_bytes),
+          faultInjector(fault_injector)
     {}
 
     ~VirtioBalloonDevice();
@@ -78,6 +81,7 @@ class VirtioBalloonDevice
     uint16_t owner;
     GuestPhysAddr regionStart;
     uint64_t regionBytes;
+    fault::FaultInjector *faultInjector;
     std::unordered_set<uint64_t> inflated;
     /**
      * GPA -> replacement frame installed by deflatePage(). These

@@ -7,13 +7,15 @@ namespace hh::virtio {
 VirtioMemDevice::VirtioMemDevice(dram::DramSystem &dram,
                                  mm::BuddyAllocator &buddy, kvm::Mmu &mmu,
                                  iommu::VfioContainer *vfio,
-                                 VirtioMemConfig config, uint16_t owner_id)
+                                 VirtioMemConfig config, uint16_t owner_id,
+                                 fault::FaultInjector *fault_injector)
     : dram(dram),
       buddy(buddy),
       mmu(mmu),
       vfio(vfio),
       cfg(config),
-      owner(owner_id)
+      owner(owner_id),
+      faultInjector(fault_injector)
 {
     HH_ASSERT(cfg.regionStart.hugePageAligned());
     HH_ASSERT(cfg.regionSize % kHugePageSize == 0);
@@ -26,11 +28,16 @@ VirtioMemDevice::VirtioMemDevice(dram::DramSystem &dram,
     for (SubBlockId sb = 0; sb < cfg.initialPlugged / kHugePageSize;
          ++sb) {
         const base::Status status = plugBacking(sb);
-        if (!status.ok())
-            base::fatal("virtio-mem: cannot plug initial sub-block "
-                        "%llu: %s",
-                        static_cast<unsigned long long>(sb),
-                        base::errorName(status.error()));
+        if (!status.ok()) {
+            // Graceful degradation: requestedBytes keeps the full
+            // initial target, so the driver's next converge() retries
+            // the remaining sub-blocks once memory frees up.
+            base::warn("virtio-mem: deferring initial sub-block "
+                       "%llu: %s",
+                       static_cast<unsigned long long>(sb),
+                       base::errorName(status.error()));
+            break;
+        }
     }
 }
 
@@ -144,6 +151,15 @@ VirtioMemDevice::requestUnplug(SubBlockId sb)
                                requestedBytes, pluggedBytes)) {
         ++devStats.nackedRequests;
         return base::ErrorCode::Denied;
+    }
+    // Delayed reclaim: the host defers the madvise this round (e.g.
+    // the block is still under writeback); the guest may retry.
+    if (const fault::FaultEntry *f = HH_FAULT_POINT(
+            faultInjector, fault::FaultSite::VirtioUnplug)) {
+        if (f->kind == fault::FaultKind::DelayedReclaim) {
+            ++devStats.deferredUnplugs;
+            return base::ErrorCode::Busy;
+        }
     }
     unplugBacking(sb);
     return base::Status::success();

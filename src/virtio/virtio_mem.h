@@ -29,6 +29,7 @@
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
+#include "fault/fault.h"
 #include "iommu/viommu.h"
 #include "kvm/mmu.h"
 #include "mm/buddy_allocator.h"
@@ -87,6 +88,8 @@ struct VirtioMemStats
     uint64_t plugRequests = 0;
     uint64_t unplugRequests = 0;
     uint64_t nackedRequests = 0;
+    /** Unplugs answered Busy by an injected delayed reclaim. */
+    uint64_t deferredUnplugs = 0;
     /** Host PFNs of the blocks released by unplug (Table 2's log). */
     std::vector<Pfn> releasedBlockPfns;
 };
@@ -104,7 +107,8 @@ class VirtioMemDevice
      */
     VirtioMemDevice(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
                     kvm::Mmu &mmu, iommu::VfioContainer *vfio,
-                    VirtioMemConfig config, uint16_t owner_id);
+                    VirtioMemConfig config, uint16_t owner_id,
+                    fault::FaultInjector *fault_injector = nullptr);
 
     ~VirtioMemDevice();
 
@@ -174,6 +178,7 @@ class VirtioMemDevice
     iommu::VfioContainer *vfio;
     VirtioMemConfig cfg;
     uint16_t owner;
+    fault::FaultInjector *faultInjector;
 
     std::vector<bool> plugged;
     /**

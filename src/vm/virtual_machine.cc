@@ -6,7 +6,8 @@ namespace hh::vm {
 
 VirtualMachine::VirtualMachine(dram::DramSystem &dram,
                                mm::BuddyAllocator &buddy, VmConfig config,
-                               uint16_t vm_id)
+                               uint16_t vm_id,
+                               fault::FaultInjector *fault_injector)
     : dram(dram), buddy(buddy), cfg(config), vmId(vm_id)
 {
     HH_ASSERT(cfg.bootMemBytes % kHugePageSize == 0);
@@ -27,10 +28,36 @@ VirtualMachine::VirtualMachine(dram::DramSystem &dram,
     for (uint64_t off = 0; off < cfg.bootMemBytes; off += kHugePageSize) {
         auto block = buddy.allocPages(9, mm::MigrateType::Movable,
                                       mm::PageUse::GuestMemory, vmId);
-        if (!block)
+        if (!block) {
+            // Under fault injection a boot allocation may fail
+            // transiently; boot with a truncated RAM map instead of
+            // taking the host down (accesses past it simply fault).
+            if (fault_injector != nullptr) {
+                base::warn("VM %u: boot RAM truncated at %llu MiB",
+                           vmId,
+                           static_cast<unsigned long long>(
+                               off / 1_MiB));
+                break;
+            }
             base::fatal("VM %u: cannot allocate boot RAM", vmId);
-        const base::Status mapped = eptMmu->map2m(
+        }
+        base::Status mapped = eptMmu->map2m(
             GuestPhysAddr(off), HostPhysAddr(*block * kPageSize));
+        // Same story for the EPT tables backing the mapping: an
+        // injected AllocFail there is transient, so retry, then fall
+        // back to the truncated boot map.
+        for (unsigned r = 0;
+             !mapped.ok() && fault_injector != nullptr && r < 16; ++r)
+            mapped = eptMmu->map2m(
+                GuestPhysAddr(off), HostPhysAddr(*block * kPageSize));
+        if (!mapped.ok() && fault_injector != nullptr) {
+            buddy.freePages(*block, 9);
+            base::warn("VM %u: boot RAM truncated at %llu MiB "
+                       "(EPT tables)",
+                       vmId,
+                       static_cast<unsigned long long>(off / 1_MiB));
+            break;
+        }
         HH_ASSERT(mapped.ok());
         if (vfioContainer)
             vfioContainer->pinRange(*block, kPagesPerHugePage);
@@ -43,7 +70,8 @@ VirtualMachine::VirtualMachine(dram::DramSystem &dram,
     mem_cfg.initialPlugged = cfg.virtioMemPlugged;
     mem_cfg.quarantine = cfg.quarantine;
     memDevice = std::make_unique<virtio::VirtioMemDevice>(
-        dram, buddy, *eptMmu, vfioContainer.get(), mem_cfg, vmId);
+        dram, buddy, *eptMmu, vfioContainer.get(), mem_cfg, vmId,
+        fault_injector);
     memDrv = std::make_unique<virtio::VirtioMemDriver>(*memDevice);
 
     if (cfg.balloon) {
@@ -52,7 +80,7 @@ VirtualMachine::VirtualMachine(dram::DramSystem &dram,
         // manage disjoint regions in this model).
         balloonDev = std::make_unique<virtio::VirtioBalloonDevice>(
             dram, buddy, *eptMmu, vmId, GuestPhysAddr(0),
-            cfg.bootMemBytes);
+            cfg.bootMemBytes, fault_injector);
     }
 }
 

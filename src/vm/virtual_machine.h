@@ -60,7 +60,8 @@ class VirtualMachine
 {
   public:
     VirtualMachine(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
-                   VmConfig config, uint16_t vm_id);
+                   VmConfig config, uint16_t vm_id,
+                   fault::FaultInjector *fault_injector = nullptr);
     ~VirtualMachine();
 
     VirtualMachine(const VirtualMachine &) = delete;

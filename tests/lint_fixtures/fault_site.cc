@@ -1,0 +1,28 @@
+// Fixture for the fault-site rule: every HH_FAULT_POINT must name a
+// FaultSite registered in src/fault/fault_sites.def, and each site
+// may be consumed by at most one injection point (site identity seeds
+// the per-site fault stream, so two consumers would share a draw
+// sequence and break determinism). Not compiled; linted only.
+
+#include "fault/fault.h"
+
+namespace {
+
+void probes(hh::fault::FaultInjector *inj)
+{
+    // Registered, first consumer: clean.
+    (void)HH_FAULT_POINT(inj, hh::fault::FaultSite::DramRead);
+    // Second consumer of the same site.
+    (void)HH_FAULT_POINT(inj, hh::fault::FaultSite::DramRead); // expect: fault-site
+    // Identifier missing from fault_sites.def.
+    (void)HH_FAULT_POINT(inj, hh::fault::FaultSite::Bogus); // expect: fault-site
+    // A multi-line call is still one injection point.
+    (void)HH_FAULT_POINT( // expect: fault-site
+        inj, hh::fault::FaultSite::DramRead);
+    // Waived duplicate: suppressed.
+    // hh-lint: allow(fault-site) -- fixture demonstrating a waiver
+    (void)HH_FAULT_POINT(inj, hh::fault::FaultSite::DramEcc);
+    (void)HH_FAULT_POINT(inj, hh::fault::FaultSite::DramEcc); // hh-lint: allow(fault-site) -- fixture demonstrating a waiver
+}
+
+} // namespace

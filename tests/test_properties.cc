@@ -264,5 +264,184 @@ TEST(WriteFault, HandlerInvokedOnProtectedPage)
     EXPECT_EQ(faults, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Seed-sweep attack invariants (32 seeds; DESIGN.md section 3.3).
+
+/** The 32 sweep seeds: distinct, deterministic, structure-free. */
+std::vector<uint64_t>
+sweepSeeds()
+{
+    std::vector<uint64_t> seeds;
+    base::SeedSequence seq(0x5eedull);
+    for (unsigned i = 0; i < 32; ++i)
+        seeds.push_back(seq.seed(i));
+    return seeds;
+}
+
+TEST(SeedSweep, NoFlipOutsideTheFaultMap)
+{
+    // Whatever the seed, a hammer pass may only flip bits the DIMM's
+    // ground-truth fault map registers for that (bank, row) -- the
+    // simulation invents no flips, under either stored polarity.
+    uint64_t flips_checked = 0;
+    for (uint64_t seed : sweepSeeds()) {
+        base::SimClock clock;
+        dram::DramConfig cfg;
+        cfg.totalBytes = 256_MiB;
+        cfg.seed = seed;
+        cfg.fault.weakCellsPerRow = 0.05;
+        dram::DramSystem dram(cfg, clock);
+        const dram::AddressMapping &map = dram.mapping();
+
+        for (uint64_t pattern : {~0ull, 0ull}) {
+            const dram::FlipDirection expect_dir = pattern == ~0ull
+                ? dram::FlipDirection::OneToZero
+                : dram::FlipDirection::ZeroToOne;
+            for (dram::RowId row = 2; row < 32; row += 4) {
+                const uint64_t stripe = static_cast<uint64_t>(row)
+                    << map.rowLoBit();
+                for (uint64_t off = 0; off < map.rowStripeBytes() * 4;
+                     off += kPageSize)
+                    dram.backend().fillPage((stripe + off) / kPageSize,
+                                            pattern);
+                const dram::BankId cls1 = 0u ^ map.rowClass(row + 1);
+                const dram::BankId cls2 = 0u ^ map.rowClass(row + 2);
+                const HostPhysAddr a(
+                    (stripe + map.rowStripeBytes())
+                    | (static_cast<uint64_t>(map.classOffsets(cls1)[0])
+                       << map.interleaveShift()));
+                const HostPhysAddr b(
+                    (stripe + 2 * map.rowStripeBytes())
+                    | (static_cast<uint64_t>(map.classOffsets(cls2)[0])
+                       << map.interleaveShift()));
+                for (const dram::FlipEvent &event :
+                     dram.hammer({a, b}, 200'000)) {
+                    ++flips_checked;
+                    EXPECT_EQ(event.direction, expect_dir);
+                    bool registered = false;
+                    for (const dram::WeakCell &cell :
+                         dram.faultModel().weakCellsInRow(event.bank,
+                                                          event.row)) {
+                        if (cell.bitInWord() == event.bitInWord
+                            && cell.direction == event.direction)
+                            registered = true;
+                    }
+                    EXPECT_TRUE(registered)
+                        << "seed " << seed << ": flip at bank "
+                        << event.bank << " row " << event.row
+                        << " bit " << event.bitInWord
+                        << " is not in the fault map";
+                }
+            }
+        }
+    }
+    EXPECT_GT(flips_checked, 0u) << "the sweep never saw a flip";
+}
+
+TEST(SeedSweep, WeakCellPopulationIsMonotoneInDensity)
+{
+    // The generator draws the weak gate before the cell identity, both
+    // pure in (seed, bank, row): doubling the density only ever adds
+    // cells. This nesting is what makes attack success monotone in the
+    // exploitable-cell count -- a denser DIMM offers a superset of
+    // targets.
+    for (uint64_t seed : sweepSeeds()) {
+        dram::FaultModelConfig lo;
+        lo.weakCellsPerRow = 0.004;
+        dram::FaultModelConfig hi = lo;
+        hi.weakCellsPerRow = 0.008;
+        dram::FaultModelConfig zero = lo;
+        zero.weakCellsPerRow = 0.0;
+        const uint64_t row_bytes = 8192;
+        dram::FaultModel model_lo(lo, seed, row_bytes);
+        dram::FaultModel model_hi(hi, seed, row_bytes);
+        dram::FaultModel model_zero(zero, seed, row_bytes);
+
+        uint64_t cells_lo = 0;
+        uint64_t cells_hi = 0;
+        for (dram::BankId bank = 0; bank < 8; ++bank) {
+            for (dram::RowId row = 0; row < 512; ++row) {
+                const auto in_lo = model_lo.weakCellsInRow(bank, row);
+                const auto in_hi = model_hi.weakCellsInRow(bank, row);
+                cells_lo += in_lo.size();
+                cells_hi += in_hi.size();
+                EXPECT_TRUE(model_zero.weakCellsInRow(bank, row).empty());
+                ASSERT_LE(in_lo.size(), in_hi.size());
+                for (size_t i = 0; i < in_lo.size(); ++i) {
+                    // Nested, not merely smaller: same cells, in order.
+                    EXPECT_EQ(in_lo[i].byteInRow, in_hi[i].byteInRow);
+                    EXPECT_EQ(in_lo[i].bitInByte, in_hi[i].bitInByte);
+                    EXPECT_EQ(in_lo[i].direction, in_hi[i].direction);
+                }
+            }
+        }
+        EXPECT_LE(cells_lo, cells_hi);
+    }
+    // Sanity: the sweep saw real cells at least somewhere.
+}
+
+TEST(SeedSweep, AttackSuccessIsMonotoneInExploitableCells)
+{
+    // End-to-end anchor on a seed subsample: a DIMM with no weak cells
+    // can never be exploited (the attack degrades instead of lying),
+    // and raising the density never loses profiled exploitable cells
+    // or successes in aggregate.
+    vm::VmConfig vm_cfg;
+    vm_cfg.bootMemBytes = 64_MiB;
+    vm_cfg.virtioMemRegionSize = 1_GiB;
+    vm_cfg.virtioMemPlugged = 640_MiB;
+    attack::AttackConfig atk_cfg;
+    atk_cfg.maxAttempts = 3;
+    atk_cfg.steering.exhaustMappings = 2'500;
+
+    const std::vector<uint64_t> seeds = sweepSeeds();
+    uint64_t cells_low = 0;
+    uint64_t cells_high = 0;
+    unsigned success_low = 0;
+    unsigned success_high = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const uint64_t seed = seeds[i];
+        // Zero density: degraded NotFound, never success.
+        {
+            sys::SystemConfig cfg =
+                sys::SystemConfig::s1(seed).withMemory(1_GiB);
+            cfg.dram.fault.weakCellsPerRow = 0.0;
+            sys::HostSystem host(cfg);
+            attack::HyperHammerAttack attack(host, vm_cfg,
+                                             host.dram().mapping(),
+                                             atk_cfg);
+            (void)attack.profilePhase();
+            EXPECT_TRUE(attack.hostProfile().empty());
+            const attack::AttackResult result = attack.run();
+            EXPECT_FALSE(result.success);
+            EXPECT_TRUE(result.degraded);
+            EXPECT_EQ(result.status.error(), base::ErrorCode::NotFound);
+        }
+        for (double scale : {2.0, 8.0}) {
+            sys::SystemConfig cfg =
+                sys::SystemConfig::s1(seed).withMemory(1_GiB);
+            cfg.dram.fault.weakCellsPerRow *= scale;
+            sys::HostSystem host(cfg);
+            attack::HyperHammerAttack attack(host, vm_cfg,
+                                             host.dram().mapping(),
+                                             atk_cfg);
+            (void)attack.profilePhase();
+            const attack::AttackResult result = attack.run();
+            if (scale == 2.0) {
+                cells_low += attack.hostProfile().size();
+                success_low += result.success ? 1 : 0;
+            } else {
+                cells_high += attack.hostProfile().size();
+                success_high += result.success ? 1 : 0;
+            }
+        }
+    }
+    EXPECT_LE(cells_low, cells_high)
+        << "denser DIMMs must not lose exploitable cells";
+    EXPECT_LE(success_low, success_high)
+        << "success must be monotone in the exploitable-cell count";
+    EXPECT_GT(cells_high, 0u);
+}
+
 } // namespace
 } // namespace hh

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Golden-trace regression check for the experiment benches.
+
+Runs each configured bench at a pinned configuration (seed=1, 1 GiB
+host, --quick) and diffs its stdout against the checked-in trace in
+tests/golden/. The simulator is bitwise-deterministic for a fixed seed,
+so any diff is a behaviour change that must be either fixed or
+explicitly re-baselined with --update.
+
+Usage:
+    check_golden.py --bench-dir <dir-with-bench-binaries> [--update]
+
+Exit status: 0 when every trace matches (or was updated), 1 on any
+mismatch or bench failure.
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+# Pinned flags: small host, fixed seed, reduced workload. The golden
+# files record exactly this configuration; keep the two in sync.
+PINNED_FLAGS = ["--host-gib=1", "--seed=1", "--quick"]
+
+# (bench binary, golden file) pairs. E1 covers profiling end to end
+# (DRAM model, mapping, profiler); E3 covers steering (virtio-mem,
+# buddy placement, EPT spray).
+TRACES = [
+    ("bench_table1_profiling", "e1_profiling_seed1.txt"),
+    ("bench_table2_page_steering", "e3_page_steering_seed1.txt"),
+]
+
+
+def run_bench(bench_dir: pathlib.Path, name: str) -> str:
+    exe = bench_dir / name
+    if not exe.exists():
+        sys.exit(f"error: bench binary not found: {exe}")
+    result = subprocess.run(
+        [str(exe), *PINNED_FLAGS],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,  # warn/info logs are not golden
+        text=True,
+        timeout=600,
+    )
+    if result.returncode != 0:
+        sys.exit(f"error: {name} exited with {result.returncode}")
+    return result.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", required=True, type=pathlib.Path,
+                        help="directory holding the bench binaries")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden files instead of diffing")
+    args = parser.parse_args()
+
+    failures = 0
+    for bench, golden_name in TRACES:
+        actual = run_bench(args.bench_dir, bench)
+        golden_path = GOLDEN_DIR / golden_name
+        if args.update:
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(actual)
+            print(f"updated {golden_path.relative_to(REPO_ROOT)}")
+            continue
+        if not golden_path.exists():
+            print(f"FAIL {bench}: missing golden file {golden_path}; "
+                  f"run with --update to create it")
+            failures += 1
+            continue
+        expected = golden_path.read_text()
+        if actual == expected:
+            print(f"ok   {bench} matches {golden_name}")
+            continue
+        failures += 1
+        print(f"FAIL {bench}: output differs from {golden_name}")
+        diff = difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{golden_name}",
+            tofile=f"{bench} (current)",
+        )
+        sys.stdout.writelines(diff)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,10 @@ Rules (see docs/static_analysis.md for the rationale and how to add one):
   missing-nodiscard   Status/Expected-returning declarations in headers
                       without [[nodiscard]]
   naked-new           raw new/delete (ownership must be RAII)
+  fault-site          every HH_FAULT_POINT must name a FaultSite
+                      registered in src/fault/fault_sites.def, and each
+                      site may be consumed by at most one injection
+                      point (site identity seeds the fault stream)
   bad-waiver          an hh-lint waiver without a justification
 
 Waivers: append `// hh-lint: allow(rule-a,rule-b) -- why it is safe`
@@ -54,6 +58,9 @@ RULES = {
                          "declare it [[nodiscard]]",
     "naked-new": "raw new/delete; use std::make_unique / containers "
                  "so ownership is RAII",
+    "fault-site": "HH_FAULT_POINT site must be registered in "
+                  "src/fault/fault_sites.def and consumed by exactly "
+                  "one injection point",
     "bad-waiver": "hh-lint waiver without a `-- justification`",
 }
 
@@ -80,6 +87,9 @@ NODISCARD_DECL_RE = re.compile(
     r"(?:\s+\w+\s*\(|\s*$)")
 NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:<]")
 NAKED_DELETE_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w(*]")
+FAULT_POINT_RE = re.compile(r"\bHH_FAULT_POINT\s*\(")
+FAULT_SITE_NAME_RE = re.compile(r"\bFaultSite\s*::\s*(\w+)")
+FAULT_SITE_DEF_RE = re.compile(r"\bHH_FAULT_SITE\s*\(\s*(\w+)\s*,")
 
 
 def strip_code(text):
@@ -193,7 +203,44 @@ def sibling_header_text(path):
     return None
 
 
-def lint_file(path, enabled_for):
+def load_fault_registry(repo_root):
+    """Site identifiers registered in src/fault/fault_sites.def, or
+    None when the registry does not exist (pre-fault trees)."""
+    def_path = repo_root / "src" / "fault" / "fault_sites.def"
+    if not def_path.exists():
+        return None
+    stripped = strip_code(def_path.read_text(errors="replace"))
+    return {m.group(1) for m in FAULT_SITE_DEF_RE.finditer(stripped)}
+
+
+def scan_fault_points(path, stripped, waivers, enabled_for,
+                      fault_registry, site_uses, findings):
+    """Check every HH_FAULT_POINT call: the named site must be in the
+    registry, and @p site_uses collects (site, path, line) so run_lint
+    can flag a site consumed by more than one injection point."""
+    if fault_registry is None or not enabled_for("fault-site"):
+        return
+    for m in FAULT_POINT_RE.finditer(stripped):
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        if "fault-site" in waivers.get(lineno, set()):
+            continue
+        tail = stripped[m.end():m.end() + 256]
+        close = tail.find(")")
+        window = tail[:close] if close != -1 else tail
+        site = FAULT_SITE_NAME_RE.search(window)
+        if site is None:
+            continue  # the macro definition or a pass-through argument
+        name = site.group(1)
+        if name not in fault_registry:
+            findings.append(Finding(
+                path, lineno, "fault-site",
+                f"HH_FAULT_POINT names unregistered FaultSite '{name}'; "
+                "add it to src/fault/fault_sites.def"))
+        elif site_uses is not None:
+            site_uses.setdefault(name, []).append((path, lineno))
+
+
+def lint_file(path, enabled_for, fault_registry=None, site_uses=None):
     """Return the findings for one file. @p enabled_for maps a rule name
     to True when this path is subject to it (allow_paths applied)."""
     raw = path.read_text(errors="replace")
@@ -217,6 +264,9 @@ def lint_file(path, enabled_for):
         alt = "|".join(re.escape(n) for n in sorted(float_names))
         float_accum_re = re.compile(
             r"(?<![\w.])(?:" + alt + r")\s*[+\-]=")
+
+    scan_fault_points(path, texts[0], waivers, enabled_for,
+                      fault_registry, site_uses, findings)
 
     is_header = path.suffix in (".h", ".hh")
 
@@ -298,6 +348,8 @@ def relpath(path, repo_root):
 
 def run_lint(paths, config, repo_root):
     findings = []
+    fault_registry = load_fault_registry(repo_root)
+    site_uses = {}
     for f in iter_files(paths, config, repo_root):
         rel = relpath(f, repo_root)
 
@@ -305,9 +357,18 @@ def run_lint(paths, config, repo_root):
             return not any(rel.startswith(prefix)
                            for prefix in config["allow"].get(rule, []))
 
-        for finding in lint_file(f, enabled_for):
+        for finding in lint_file(f, enabled_for, fault_registry,
+                                 site_uses):
             finding.path = rel
             findings.append(finding)
+    for name in sorted(site_uses):
+        uses = site_uses[name]
+        first = f"{relpath(uses[0][0], repo_root)}:{uses[0][1]}"
+        for path, line in uses[1:]:
+            findings.append(Finding(
+                relpath(path, repo_root), line, "fault-site",
+                f"FaultSite '{name}' is already consumed at {first}; "
+                "each site identifies exactly one injection point"))
     return findings
 
 
