@@ -28,6 +28,14 @@ struct SoakOptions
     uint64_t seedBase = 1;
     /** Scales every entry's firing probability, (0, 1]. */
     double intensity = 1.0;
+    /** Checkpoint each campaign every N attempts (0 = off). */
+    uint64_t checkpointEvery = 0;
+    /** Base path; campaign files get a "_s<plan seed>" suffix. */
+    std::string checkpointPath = "fault_soak.ckpt";
+    /** Restore valid checkpoints instead of starting from scratch. */
+    bool resume = false;
+    /** Simulated crash: stop each campaign after N attempts. */
+    uint64_t killAt = 0;
 
     static SoakOptions
     parse(int argc, char **argv)
@@ -47,6 +55,16 @@ struct SoakOptions
                 soak.seedBase = std::strtoull(v2, nullptr, 0);
             else if (const char *v3 = value("--intensity="))
                 soak.intensity = std::strtod(v3, nullptr);
+            else if (const char *v4 = value("--checkpoint-every="))
+                soak.checkpointEvery = std::strtoull(v4, nullptr, 0);
+            else if (const char *v5 = value("--checkpoint-path="))
+                soak.checkpointPath = v5;
+            else if (const char *v6 = value("--kill-at="))
+                soak.killAt = std::strtoull(v6, nullptr, 0);
+            else if (arg == "--resume")
+                soak.resume = true;
+            else if (const char *v7 = value("--resume="))
+                soak.resume = true, soak.checkpointPath = v7;
         }
         return soak;
     }
@@ -107,7 +125,23 @@ main(int argc, char **argv)
         attack::HyperHammerAttack attack(host, soakVmConfig(),
                                          host.dram().mapping(), acfg);
         attack.profilePhase();
-        const attack::AttackResult result = attack.run();
+        attack::AttackResult result;
+        if (soak.checkpointEvery > 0) {
+            // Checkpointed campaigns go through the Monte-Carlo
+            // engine: attempts are pure per-index trials, so a run
+            // killed here and resumed with --resume reproduces the
+            // straight run's table bit for bit.
+            snapshot::CheckpointPolicy policy;
+            policy.path = soak.checkpointPath + "_s" +
+                std::to_string(plan_seed);
+            policy.everyTrials = soak.checkpointEvery;
+            policy.resume = soak.resume;
+            policy.stopAfterTrials = soak.killAt;
+            result = attack.runAttempts(acfg.maxAttempts, opts.threads,
+                                        policy);
+        } else {
+            result = attack.run();
+        }
 
         uint64_t retries = 0;
         for (const attack::AttemptOutcome &outcome : result.outcomes)

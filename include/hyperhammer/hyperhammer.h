@@ -51,6 +51,10 @@
 #include "kvm/mmu.h"
 #include "mm/buddy_allocator.h"
 #include "mm/page.h"
+#include "snapshot/checkpoint_policy.h"
+#include "snapshot/resume_identity.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
 #include "sys/host_system.h"
 #include "sys/ksm.h"
 #include "virtio/virtio_balloon.h"

@@ -1,11 +1,14 @@
 #include "orchestrator.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
+#include "base/archive.h"
 #include "base/log.h"
 #include "base/parallel.h"
 #include "base/rng.h"
+#include "snapshot/snapshot_format.h"
 
 namespace hh::attack {
 
@@ -441,6 +444,154 @@ HyperHammerAttack::runTrial(uint64_t trial) const
 AttackResult
 HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads)
 {
+    return runAttempts(attempts, threads, snapshot::CheckpointPolicy{});
+}
+
+namespace {
+
+/**
+ * Serialized size of one AttemptOutcome (count() validation):
+ * success, bitsTargeted, five u64 counters + duration, retries,
+ * backoffTime, faultsFired -- keep in sync with writeOutcome().
+ */
+constexpr uint64_t kOutcomeBytes = 1 + 4 + 5 * 8 + 4 + 8 + 8;
+
+void
+writeOutcome(base::ArchiveWriter &w, const AttemptOutcome &outcome)
+{
+    w.boolean(outcome.success);
+    w.u32(outcome.bitsTargeted);
+    w.u64(outcome.releasedSubBlocks);
+    w.u64(outcome.demotions);
+    w.u64(outcome.changedPages);
+    w.u64(outcome.epteCandidates);
+    w.u64(outcome.duration);
+    w.u32(outcome.retries);
+    w.u64(outcome.backoffTime);
+    w.u64(outcome.faultsFired);
+}
+
+AttemptOutcome
+readOutcome(base::ArchiveReader &r)
+{
+    AttemptOutcome outcome;
+    outcome.success = r.boolean();
+    outcome.bitsTargeted = r.u32();
+    outcome.releasedSubBlocks = r.u64();
+    outcome.demotions = r.u64();
+    outcome.changedPages = r.u64();
+    outcome.epteCandidates = r.u64();
+    outcome.duration = r.u64();
+    outcome.retries = r.u32();
+    outcome.backoffTime = r.u64();
+    outcome.faultsFired = r.u64();
+    return outcome;
+}
+
+} // namespace
+
+uint64_t
+HyperHammerAttack::campaignFingerprint() const
+{
+    base::ArchiveWriter w;
+    w.u64(host.configFingerprint());
+    w.u64(vmCfg.bootMemBytes);
+    w.u64(vmCfg.virtioMemRegionSize);
+    w.u64(vmCfg.virtioMemPlugged);
+    w.u32(vmCfg.passthroughDevices);
+    w.boolean(vmCfg.balloon);
+    w.u32(cfg.bitsPerAttempt);
+    w.u64(cfg.sprayBytes);
+    w.u32(cfg.maxAttempts);
+    w.u32(cfg.maxPhaseRetries);
+    w.u64(cfg.retryBackoff);
+    w.u32(cfg.reprofileAfterEmpty);
+    // The host-physical profile folds in every remaining tunable that
+    // shaped it (profiler config, DRAM fault map, boot noise), so the
+    // fingerprint changes whenever trial outcomes could.
+    w.u64(bits.size());
+    for (const HostVulnBit &bit : bits) {
+        w.u64(bit.wordHpa.value());
+        w.u32(bit.bitInWord);
+        w.u8(static_cast<uint8_t>(bit.direction));
+        w.boolean(bit.stable);
+        w.u64(bit.aggressorHpas.size());
+        for (HostPhysAddr hpa : bit.aggressorHpas)
+            w.u64(hpa.value());
+    }
+    return w.fingerprint();
+}
+
+base::Status
+HyperHammerAttack::saveCheckpoint(
+    const std::string &path,
+    const std::vector<AttemptOutcome> &outcomes) const
+{
+    base::ArchiveWriter w;
+    w.u64(campaignFingerprint());
+    w.u64(outcomes.size());
+    for (const AttemptOutcome &outcome : outcomes)
+        writeOutcome(w, outcome);
+    // Keep the previous checkpoint as the fallback file; the rename
+    // fails harmlessly when this is the first checkpoint.
+    const std::string prev = path + snapshot::kCheckpointPrevSuffix;
+    (void)std::rename(path.c_str(), prev.c_str());
+    return base::saveArchiveFile(path, snapshot::kCheckpointMagic,
+                                 snapshot::kSnapshotFormatVersion,
+                                 w.buffer());
+}
+
+base::Expected<std::vector<AttemptOutcome>>
+HyperHammerAttack::loadCheckpoint(const std::string &path) const
+{
+    const auto load_one = [this](const std::string &file)
+        -> base::Expected<std::vector<AttemptOutcome>> {
+        auto loaded = base::loadArchiveFile(
+            file, snapshot::kCheckpointMagic,
+            snapshot::kSnapshotFormatVersion,
+            snapshot::kSnapshotFormatVersion);
+        if (!loaded)
+            return loaded.error();
+        base::ArchiveReader r(loaded->payload);
+        const uint64_t fingerprint = r.u64();
+        if (!r.ok())
+            return base::ErrorCode::InvalidArgument;
+        if (fingerprint != campaignFingerprint()) {
+            base::warn("checkpoint '%s': campaign fingerprint mismatch"
+                       " (different config or profile); ignoring",
+                       file.c_str());
+            return base::ErrorCode::InvalidArgument;
+        }
+        const uint64_t n = r.count(kOutcomeBytes);
+        std::vector<AttemptOutcome> outcomes;
+        outcomes.reserve(n);
+        for (uint64_t i = 0; i < n && r.ok(); ++i)
+            outcomes.push_back(readOutcome(r));
+        if (!r.ok() || !r.atEnd()) {
+            base::warn("checkpoint '%s': malformed outcome records",
+                       file.c_str());
+            return base::ErrorCode::InvalidArgument;
+        }
+        return outcomes;
+    };
+
+    auto primary = load_one(path);
+    if (primary)
+        return primary;
+    const std::string prev = path + snapshot::kCheckpointPrevSuffix;
+    auto fallback = load_one(prev);
+    if (fallback) {
+        base::inform("checkpoint: resumed from fallback '%s'",
+                     prev.c_str());
+        return fallback;
+    }
+    return primary.error();
+}
+
+AttackResult
+HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
+                               const snapshot::CheckpointPolicy &policy)
+{
     if (bits.empty()) {
         AttackResult result;
         result.status = base::ErrorCode::NotFound;
@@ -452,30 +603,91 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads)
     // Trials own their hosts; the profiling VM is not reusable here.
     machine.reset();
 
-    std::vector<AttemptOutcome> outcomes(attempts);
-    const uint64_t first_success = base::parallelFindFirst(
-        attempts, threads, [&](uint64_t trial) {
-            outcomes[trial] = runTrial(trial);
-            return outcomes[trial].success;
-        });
-
-    // Merge in trial order and truncate exactly where the sequential
-    // loop would have stopped; speculative trials past the first
-    // success are discarded. Everything below is a pure function of
-    // the per-trial outcomes, hence independent of the thread count.
-    AttackResult result;
-    const uint64_t counted =
-        std::min<uint64_t>(attempts, first_success + 1);
-    for (uint64_t trial = 0; trial < counted; ++trial) {
-        BatchAggregates one;
-        one.add(outcomes[trial]);
-        result.stats.merge(one);
-        result.totalTime += outcomes[trial].duration;
-        result.faultsInjected += outcomes[trial].faultsFired;
-        result.outcomes.push_back(outcomes[trial]);
+    // Outcomes accumulate as the completed trial prefix, already
+    // truncated at the first success (the sequential stopping point).
+    std::vector<AttemptOutcome> outcomes;
+    outcomes.reserve(attempts);
+    if (policy.resume && !policy.path.empty()) {
+        auto restored = loadCheckpoint(policy.path);
+        if (restored) {
+            outcomes = std::move(*restored);
+            if (outcomes.size() > attempts)
+                outcomes.resize(attempts);
+        } else if (restored.error() != base::ErrorCode::NotFound) {
+            base::warn("checkpoint '%s': no valid checkpoint; "
+                       "starting from trial 0",
+                       policy.path.c_str());
+        }
     }
-    result.attempts = static_cast<unsigned>(counted);
+    const unsigned resumed = static_cast<unsigned>(outcomes.size());
+
+    uint64_t first_success = attempts;
+    for (uint64_t trial = 0; trial < outcomes.size(); ++trial) {
+        if (outcomes[trial].success) {
+            first_success = trial;
+            break;
+        }
+    }
+
+    // Run the remaining trials in checkpoint-sized blocks with their
+    // absolute trial indices, so each outcome is the same pure
+    // function of (config, trial) an unchunked run computes.
+    uint64_t done = outcomes.size();
+    const uint64_t block = policy.enabled()
+        ? policy.everyTrials
+        : std::max<uint64_t>(attempts, 1);
+    bool stopped = false;
+    while (done < attempts && first_success == attempts && !stopped) {
+        const uint64_t todo = std::min<uint64_t>(block, attempts - done);
+        std::vector<AttemptOutcome> chunk(todo);
+        const uint64_t rel = base::parallelFindFirst(
+            todo, threads, [&](uint64_t i) {
+                chunk[i] = runTrial(done + i);
+                return chunk[i].success;
+            });
+        // Keep the complete prefix, truncated at the first success;
+        // speculative trials past it are discarded (see
+        // parallelFindFirst's completeness guarantee).
+        const uint64_t keep = std::min<uint64_t>(todo, rel + 1);
+        outcomes.insert(outcomes.end(), chunk.begin(),
+                        chunk.begin()
+                            + static_cast<std::ptrdiff_t>(keep));
+        if (rel < todo)
+            first_success = done + rel;
+        done += keep;
+        if (policy.enabled()) {
+            const base::Status saved =
+                saveCheckpoint(policy.path, outcomes);
+            if (!saved.ok())
+                base::warn("checkpoint '%s': save failed; campaign "
+                           "continues unprotected",
+                           policy.path.c_str());
+            if (policy.stopAfterTrials != 0
+                && done >= policy.stopAfterTrials && done < attempts
+                && first_success == attempts)
+                stopped = true; // simulated crash (test hook)
+        }
+    }
+
+    // Merge in trial order: a pure function of the outcome prefix,
+    // hence independent of thread count, block size and resume
+    // history.
+    AttackResult result;
+    for (const AttemptOutcome &outcome : outcomes) {
+        BatchAggregates one;
+        one.add(outcome);
+        result.stats.merge(one);
+        result.totalTime += outcome.duration;
+        result.faultsInjected += outcome.faultsFired;
+        result.outcomes.push_back(outcome);
+    }
+    result.attempts = static_cast<unsigned>(outcomes.size());
+    result.resumedTrials = resumed;
     result.success = first_success < attempts;
+    if (stopped) {
+        result.status = base::ErrorCode::Busy;
+        return result;
+    }
     if (!result.success) {
         result.status = base::ErrorCode::LimitExceeded;
         result.degraded = result.faultsInjected > 0;

@@ -23,6 +23,7 @@
 #include "attack/profiler.h"
 #include "attack/types.h"
 #include "base/stats.h"
+#include "snapshot/checkpoint_policy.h"
 #include "sys/host_system.h"
 
 namespace hh::attack {
@@ -131,6 +132,8 @@ struct AttackResult
     unsigned reprofiles = 0;
     /** Total faults the host injector fired across the run. */
     uint64_t faultsInjected = 0;
+    /** Trials restored from a checkpoint rather than re-run. */
+    unsigned resumedTrials = 0;
 
     /** Mean virtual duration of one attempt, seconds. */
     double avgAttemptSeconds() const;
@@ -195,6 +198,25 @@ class HyperHammerAttack
     AttackResult runAttempts(unsigned attempts, unsigned threads);
 
     /**
+     * runAttempts() with crash-safe checkpointing: trials run in
+     * blocks of @p policy.everyTrials; after each block the completed
+     * outcome prefix is written atomically (temp + fsync + rename,
+     * previous checkpoint rotated to "<path>.prev"). With
+     * policy.resume the campaign first restores the newest valid
+     * checkpoint -- falling back to the rotated file when the primary
+     * is corrupt -- and re-runs nothing it already completed.
+     *
+     * Trials are pure functions of (configuration, trial index), so
+     * the merged result is bitwise-identical to an uncheckpointed run
+     * for any block size, thread count or kill/resume history; a
+     * checkpoint from a different configuration is rejected by
+     * fingerprint. A stopAfterTrials stop returns a Busy status with
+     * the partial outcomes.
+     */
+    AttackResult runAttempts(unsigned attempts, unsigned threads,
+                             const snapshot::CheckpointPolicy &policy);
+
+    /**
      * The hypervisor secret the attack tries to read: a host kernel
      * page containing a magic value, planted at construction. Success
      * means the attacker read it through its own address space.
@@ -251,6 +273,23 @@ class HyperHammerAttack
 
     /** One self-contained trial: clone host, spawn VM, attempt. */
     AttemptOutcome runTrial(uint64_t trial) const;
+
+    /**
+     * Identity of a checkpointable campaign: host configuration, VM
+     * provisioning, attack tunables and the host-physical profile.
+     * Trials are pure functions of this plus the trial index, so a
+     * matching fingerprint means stored outcomes are reusable.
+     */
+    uint64_t campaignFingerprint() const;
+
+    /** Rotate the old checkpoint and atomically write the new one. */
+    [[nodiscard]] base::Status
+    saveCheckpoint(const std::string &path,
+                   const std::vector<AttemptOutcome> &outcomes) const;
+
+    /** Restore outcomes from @p path, else from "<path>.prev". */
+    [[nodiscard]] base::Expected<std::vector<AttemptOutcome>>
+    loadCheckpoint(const std::string &path) const;
 };
 
 } // namespace hh::attack

@@ -146,6 +146,12 @@ class Rng
             (*this)();
     }
 
+    /** Raw xoshiro256** state, for snapshot serialization. */
+    std::array<uint64_t, 4> saveState() const { return state; }
+
+    /** Restore state captured by saveState(); exact stream resume. */
+    void loadState(const std::array<uint64_t, 4> &s) { state = s; }
+
   private:
     static constexpr uint64_t
     rotl(uint64_t x, int k)

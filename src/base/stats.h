@@ -8,6 +8,7 @@
 #ifndef HYPERHAMMER_BASE_STATS_H
 #define HYPERHAMMER_BASE_STATS_H
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -94,6 +95,58 @@ class RunningStats
     {
         n = 0;
         meanValue = m2 = total = minValue = maxValue = 0.0;
+    }
+
+    /**
+     * The exact internal accumulator words. Snapshots persist these
+     * (doubles as IEEE-754 bit patterns) so a resumed run continues the
+     * Welford recurrence from the identical numeric state, and the
+     * resume-identity verifier compares them bit-for-bit.
+     */
+    struct Raw
+    {
+        uint64_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double total = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    Raw
+    raw() const
+    {
+        return Raw{n, meanValue, m2, total, minValue, maxValue};
+    }
+
+    void
+    restore(const Raw &r)
+    {
+        n = r.n;
+        meanValue = r.mean;
+        m2 = r.m2;
+        total = r.total;
+        minValue = r.min;
+        maxValue = r.max;
+    }
+
+    /**
+     * Bit-level equality of the accumulator state (NaN-safe, and
+     * stricter than operator== on doubles: -0.0 != +0.0 here). This is
+     * the comparison resume-identity verification needs -- "the same
+     * statistics" means the same bits, not approximately equal values.
+     */
+    bool
+    bitwiseEqual(const RunningStats &other) const
+    {
+        const auto bits = [](double d) {
+            return std::bit_cast<uint64_t>(d);
+        };
+        return n == other.n && bits(meanValue) == bits(other.meanValue)
+            && bits(m2) == bits(other.m2)
+            && bits(total) == bits(other.total)
+            && bits(minValue) == bits(other.minValue)
+            && bits(maxValue) == bits(other.maxValue);
     }
 
   private:

@@ -193,6 +193,17 @@ class DramSystem
         faultInjector = injector;
     }
 
+    /**
+     * Serialize the mutable device state: memory contents, open-row
+     * registers, flip/ECC/TRR counters and the controller RNG cursor.
+     * The fault model itself is pure (seed-derived) and travels via the
+     * config fingerprint, not the payload.
+     */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore state written by saveState() on an identically configured device. */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
+
   private:
     DramConfig cfg;
     base::SimClock &clock;

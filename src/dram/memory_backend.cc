@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/container_util.h"
 #include "base/log.h"
 
 namespace hh::dram {
@@ -127,6 +128,58 @@ MemoryBackend::mismatchedWords(Pfn pfn, uint64_t expected_fill) const
         }
     }
     return mismatches;
+}
+
+void
+MemoryBackend::saveState(base::ArchiveWriter &w) const
+{
+    w.u64(pages.size());
+    for (Pfn pfn : base::sortedKeys(pages)) {
+        const PageData &page = pages.at(pfn);
+        w.u64(pfn);
+        w.u64(page.fill);
+        w.u64(page.overrides.size());
+        for (const auto &[idx, value] : page.overrides) {
+            w.u16(idx);
+            w.u64(value);
+        }
+    }
+}
+
+base::Status
+MemoryBackend::loadState(base::ArchiveReader &r)
+{
+    std::unordered_map<Pfn, PageData> loaded;
+    const uint64_t page_count = r.count(16);
+    loaded.reserve(page_count);
+    for (uint64_t i = 0; i < page_count && r.ok(); ++i) {
+        const Pfn pfn = r.u64();
+        if (pfn * kPageSize >= totalBytes) {
+            r.fail();
+            break;
+        }
+        PageData &page = loaded[pfn];
+        page.fill = r.u64();
+        const uint64_t override_count = r.count(10);
+        page.overrides.reserve(override_count);
+        uint32_t prev_idx = 0;
+        for (uint64_t j = 0; j < override_count && r.ok(); ++j) {
+            const uint16_t idx = r.u16();
+            const uint64_t value = r.u64();
+            // Overrides must be sorted, unique, in-page: find() relies
+            // on it, so reject rather than rebuild.
+            if (idx >= kPageSize / 8 || (j > 0 && idx <= prev_idx)) {
+                r.fail();
+                break;
+            }
+            prev_idx = idx;
+            page.overrides.emplace_back(idx, value);
+        }
+    }
+    if (!r.ok())
+        return r.status();
+    pages = std::move(loaded);
+    return base::Status::success();
 }
 
 } // namespace hh::dram

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/types.h"
 
 namespace hh::dram {
@@ -75,6 +76,12 @@ class MemoryBackend
 
     /** Drop the contents of one frame (reads revert to zero). */
     void clearPage(Pfn pfn) { pages.erase(pfn); }
+
+    /** Serialize all touched pages (in sorted-Pfn order). */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Replace contents with a stream written by saveState(). */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     struct PageData

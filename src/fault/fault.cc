@@ -199,4 +199,39 @@ FaultInjector::totalFired() const
     return total;
 }
 
+void
+FaultInjector::saveState(base::ArchiveWriter &w) const
+{
+    w.u64(sites.size());
+    for (const SiteState &state : sites) {
+        w.u64(state.occurrences);
+        w.u64(state.fired);
+        w.rngState(state.rng.saveState());
+        w.u64vec(state.entryFired);
+    }
+}
+
+base::Status
+FaultInjector::loadState(base::ArchiveReader &r)
+{
+    const uint64_t site_count = r.u64();
+    if (r.ok() && site_count != sites.size())
+        r.fail();
+    std::array<SiteState, kFaultSiteCount> loaded;
+    for (SiteState &state : loaded) {
+        if (!r.ok())
+            break;
+        state.occurrences = r.u64();
+        state.fired = r.u64();
+        state.rng.loadState(r.rngState());
+        state.entryFired = r.u64vec();
+        if (r.ok() && state.entryFired.size() != schedule.entries.size())
+            r.fail();
+    }
+    if (!r.ok())
+        return r.status();
+    sites = std::move(loaded);
+    return base::Status::success();
+}
+
 } // namespace hh::fault

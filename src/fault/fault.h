@@ -25,7 +25,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/rng.h"
+#include "base/status.h"
 
 namespace hh::fault {
 
@@ -143,6 +145,17 @@ class FaultInjector
     uint64_t totalFired() const;
 
     const FaultPlan &plan() const { return schedule; }
+
+    /**
+     * Serialize the injector position: per-site occurrence/fired
+     * counters, per-entry firing counts and the site RNG cursors. The
+     * plan itself is part of the host configuration and travels via
+     * the config fingerprint.
+     */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore a position saved from an injector with the same plan. */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     struct SiteState

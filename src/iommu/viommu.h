@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
@@ -58,6 +59,11 @@ class IoPageTable
   public:
     IoPageTable(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
                 uint16_t owner_id);
+
+    /** Restore-mode: skip the root allocation; loadState() follows. */
+    IoPageTable(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
+                uint16_t owner_id, base::RestoreTag);
+
     ~IoPageTable();
 
     IoPageTable(const IoPageTable &) = delete;
@@ -75,6 +81,12 @@ class IoPageTable
 
     /** Number of IOPT table pages allocated so far. */
     uint64_t tablePageCount() const { return tablePages.size(); }
+
+    /** Serialize root and table-page list (entries live in DRAM). */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore state written by saveState(). */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     dram::DramSystem &dram;
@@ -150,6 +162,12 @@ class VfioContainer
 
     /** Undo pinRange (virtio-mem unplug path). */
     void unpinRange(Pfn first, uint64_t count);
+
+    /** Serialize every group's IOPT and mapping count. */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore groups written by saveState() (rebuilds the IOPTs). */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     struct Group

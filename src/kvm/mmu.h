@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/types.h"
@@ -89,6 +90,13 @@ class Mmu
      */
     Mmu(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
         MmuConfig config, uint16_t owner_id);
+
+    /**
+     * Restore-mode constructor: skips the root-table allocation (the
+     * snapshot already accounts for it); loadState() must follow.
+     */
+    Mmu(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
+        MmuConfig config, uint16_t owner_id, base::RestoreTag);
 
     ~Mmu();
 
@@ -185,6 +193,12 @@ class Mmu
      * yield kInvalidPfn.
      */
     std::vector<Pfn> leafFrames(GuestPhysAddr base) const;
+
+    /** Serialize root/table/metadata frames, counters and RNG cursor. */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore state written by saveState(); table contents live in DRAM. */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     dram::DramSystem &dram;

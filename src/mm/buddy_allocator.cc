@@ -420,6 +420,134 @@ BuddyAllocator::drainPcp()
 }
 
 void
+BuddyAllocator::saveState(base::ArchiveWriter &w) const
+{
+    w.u64(frames.size());
+    for (const PageFrame &frame : frames) {
+        w.u64(frame.nextFree);
+        w.u64(frame.prevFree);
+        w.u8(frame.order);
+        w.boolean(frame.free);
+        w.boolean(frame.freeHead);
+        w.u8(static_cast<uint8_t>(frame.migrateType));
+        w.u8(static_cast<uint8_t>(frame.use));
+        w.boolean(frame.pinned);
+        w.u16(frame.owner);
+    }
+    for (unsigned mt = 0; mt < kMigrateTypes; ++mt) {
+        for (unsigned order = 0; order < kMaxOrder; ++order) {
+            w.u64(lists[mt][order].head);
+            w.u64(lists[mt][order].count);
+        }
+    }
+    w.u64(freeCount);
+    for (const auto &cache : pcp)
+        w.u64vec(cache);
+}
+
+base::Status
+BuddyAllocator::loadState(base::ArchiveReader &r)
+{
+    const uint64_t frame_count = r.u64();
+    if (r.ok() && frame_count != frames.size())
+        r.fail();
+    std::vector<PageFrame> new_frames(r.ok() ? frame_count : 0);
+    for (PageFrame &frame : new_frames) {
+        if (!r.ok())
+            break;
+        frame.nextFree = r.u64();
+        frame.prevFree = r.u64();
+        frame.order = r.u8();
+        frame.free = r.boolean();
+        frame.freeHead = r.boolean();
+        const uint8_t mt = r.u8();
+        const uint8_t use = r.u8();
+        frame.pinned = r.boolean();
+        frame.owner = r.u16();
+        if (mt >= kMigrateTypes || use > static_cast<uint8_t>(
+                PageUse::DmaBuffer) || frame.order >= kMaxOrder) {
+            r.fail();
+            break;
+        }
+        frame.migrateType = static_cast<MigrateType>(mt);
+        frame.use = static_cast<PageUse>(use);
+    }
+    std::array<std::array<FreeList, kMaxOrder>, kMigrateTypes>
+        new_lists{};
+    for (unsigned mt = 0; mt < kMigrateTypes; ++mt) {
+        for (unsigned order = 0; order < kMaxOrder; ++order) {
+            new_lists[mt][order].head = r.u64();
+            new_lists[mt][order].count = r.u64();
+        }
+    }
+    const uint64_t new_free_count = r.u64();
+    std::array<std::vector<Pfn>, kMigrateTypes> new_pcp;
+    for (auto &cache : new_pcp)
+        cache = r.u64vec();
+    if (!r.ok())
+        return r.status();
+
+    // Replicate checkConsistency() without the panics: a corrupted
+    // snapshot must fail the load, not abort the process. Walks are
+    // bounds-checked and capped so cyclic linkage cannot hang us.
+    uint64_t listed_pages = 0;
+    for (unsigned mt = 0; mt < kMigrateTypes; ++mt) {
+        for (unsigned order = 0; order < kMaxOrder; ++order) {
+            const FreeList &list = new_lists[mt][order];
+            uint64_t walked = 0;
+            Pfn prev = kInvalidPfn;
+            Pfn pfn = list.head;
+            while (pfn != kInvalidPfn) {
+                if (pfn >= new_frames.size() || walked >= list.count)
+                    return base::Status(
+                        base::ErrorCode::InvalidArgument);
+                const PageFrame &frame = new_frames[pfn];
+                const bool block_in_range =
+                    pfn + (1ull << order) <= new_frames.size();
+                if (!frame.free || !frame.freeHead
+                    || frame.order != order
+                    || frame.migrateType != static_cast<MigrateType>(mt)
+                    || frame.prevFree != prev || !block_in_range
+                    || (pfn & ((1ull << order) - 1)) != 0) {
+                    return base::Status(
+                        base::ErrorCode::InvalidArgument);
+                }
+                for (uint64_t i = 1; i < (1ull << order); ++i) {
+                    if (!new_frames[pfn + i].free
+                        || new_frames[pfn + i].freeHead) {
+                        return base::Status(
+                            base::ErrorCode::InvalidArgument);
+                    }
+                }
+                prev = pfn;
+                ++walked;
+                listed_pages += 1ull << order;
+                pfn = frame.nextFree;
+            }
+            if (walked != list.count)
+                return base::Status(base::ErrorCode::InvalidArgument);
+        }
+    }
+    uint64_t free_frames = 0;
+    for (const PageFrame &frame : new_frames)
+        free_frames += frame.free ? 1 : 0;
+    if (listed_pages != new_free_count || free_frames != new_free_count)
+        return base::Status(base::ErrorCode::InvalidArgument);
+    for (const auto &cache : new_pcp) {
+        for (Pfn pfn : cache) {
+            if (pfn >= new_frames.size() || new_frames[pfn].free)
+                return base::Status(base::ErrorCode::InvalidArgument);
+        }
+    }
+
+    frames = std::move(new_frames);
+    lists = new_lists;
+    freeCount = new_free_count;
+    pcp = std::move(new_pcp);
+    return base::Status::success();
+}
+
+void
 BuddyAllocator::checkConsistency() const
 {
     // 1. Every list entry is a free head of the right order/type, and

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "fault/fault.h"
@@ -161,6 +162,17 @@ class BuddyAllocator
     {
         faultInjector = injector;
     }
+
+    /** Serialize the frame database, free lists and PCP stacks. */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /**
+     * Restore state written by saveState() on an allocator managing
+     * the same number of frames. Re-validates every free-list linkage
+     * invariant (a non-panicking checkConsistency()) before
+     * committing, so corrupt snapshots are rejected, never installed.
+     */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     struct FreeList

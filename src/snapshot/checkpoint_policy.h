@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Checkpoint policy for long-running trial campaigns.
+ *
+ * Header-only and base-free so the attack layer can accept a policy
+ * without linking the snapshot library. The policy only says *when and
+ * where* to checkpoint; the campaign owner (HyperHammerAttack::
+ * runAttempts) implements the atomic write / rotate / resume protocol
+ * described in DESIGN.md section 3.4.
+ */
+
+#ifndef HYPERHAMMER_SNAPSHOT_CHECKPOINT_POLICY_H
+#define HYPERHAMMER_SNAPSHOT_CHECKPOINT_POLICY_H
+
+#include <cstdint>
+#include <string>
+
+namespace hh::snapshot {
+
+/** Suffix of the rotated previous checkpoint (the fallback file). */
+inline const char *const kCheckpointPrevSuffix = ".prev";
+
+/** When/where a trial campaign checkpoints and whether it resumes. */
+struct CheckpointPolicy
+{
+    /** Checkpoint file; empty disables checkpointing entirely. */
+    std::string path;
+
+    /**
+     * Checkpoint after every N completed trials (the campaign also
+     * checkpoints once more when a trial succeeds). 0 disables
+     * periodic checkpoints; a non-empty path with everyTrials == 0
+     * still allows resume-only use.
+     */
+    uint64_t everyTrials = 0;
+
+    /**
+     * Resume from the newest valid checkpoint before running: @ref
+     * path first, then path + ".prev" when the primary file is
+     * missing, truncated, corrupt or version-stale. A checkpoint
+     * whose campaign fingerprint does not match is rejected the same
+     * way. When nothing valid exists the campaign starts from trial 0.
+     */
+    bool resume = false;
+
+    /**
+     * Test hook simulating a crash: stop (with a Busy status and the
+     * checkpoint freshly written) once at least this many trials have
+     * completed. 0 runs to completion. Lets resume-identity tests
+     * exercise the kill/resume path deterministically in-process; the
+     * CI soak job uses a real SIGKILL instead.
+     */
+    uint64_t stopAfterTrials = 0;
+
+    /** True when periodic checkpoint writes are requested. */
+    bool
+    enabled() const
+    {
+        return !path.empty() && everyTrials > 0;
+    }
+};
+
+} // namespace hh::snapshot
+
+#endif // HYPERHAMMER_SNAPSHOT_CHECKPOINT_POLICY_H

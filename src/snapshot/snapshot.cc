@@ -1,0 +1,80 @@
+#include "snapshot.h"
+
+#include "base/archive.h"
+#include "base/log.h"
+#include "snapshot/snapshot_format.h"
+
+namespace hh::snapshot {
+
+base::Status
+saveWorld(const sys::HostSystem &host,
+          const std::vector<const vm::VirtualMachine *> &vms,
+          const std::string &path)
+{
+    base::ArchiveWriter w;
+    w.u64(host.configFingerprint());
+    host.saveState(w);
+    w.u64(vms.size());
+    for (const vm::VirtualMachine *machine : vms) {
+        // The id also prefixes the VM blob itself; writing it in the
+        // framing lets the loader build the restore shell first.
+        w.u16(machine->id());
+        machine->saveState(w);
+    }
+    return base::saveArchiveFile(path, kWorldSnapshotMagic,
+                                 kSnapshotFormatVersion, w.buffer());
+}
+
+base::Expected<std::vector<std::unique_ptr<vm::VirtualMachine>>>
+loadWorld(sys::HostSystem &host,
+          const std::vector<vm::VmConfig> &vm_cfgs,
+          const std::string &path)
+{
+    auto loaded = base::loadArchiveFile(path, kWorldSnapshotMagic,
+                                        kSnapshotFormatVersion,
+                                        kSnapshotFormatVersion);
+    if (!loaded)
+        return loaded.error();
+    base::ArchiveReader r(loaded->payload);
+    const uint64_t fingerprint = r.u64();
+    if (!r.ok())
+        return r.status().error();
+    if (fingerprint != host.configFingerprint()) {
+        base::warn("world snapshot '%s': host config fingerprint "
+                   "mismatch",
+                   path.c_str());
+        return base::ErrorCode::InvalidArgument;
+    }
+    if (const base::Status st = host.loadState(r); !st.ok())
+        return st.error();
+    const uint64_t vm_count = r.u64();
+    if (!r.ok())
+        return r.status().error();
+    if (vm_count != vm_cfgs.size()) {
+        base::warn("world snapshot '%s': %llu VMs saved but %zu "
+                   "configs supplied",
+                   path.c_str(),
+                   static_cast<unsigned long long>(vm_count),
+                   vm_cfgs.size());
+        return base::ErrorCode::InvalidArgument;
+    }
+    std::vector<std::unique_ptr<vm::VirtualMachine>> machines;
+    machines.reserve(vm_count);
+    for (uint64_t i = 0; i < vm_count; ++i) {
+        const uint16_t vm_id = r.u16();
+        if (!r.ok())
+            return r.status().error();
+        auto machine = host.restoreVm(vm_cfgs[i], vm_id);
+        if (const base::Status st = machine->loadState(r); !st.ok())
+            return st.error();
+        machines.push_back(std::move(machine));
+    }
+    if (!r.atEnd()) {
+        base::warn("world snapshot '%s': %zu trailing bytes",
+                   path.c_str(), r.remaining());
+        return base::ErrorCode::InvalidArgument;
+    }
+    return machines;
+}
+
+} // namespace hh::snapshot

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Whole-world snapshots: one file holding a host and its live VMs.
+ *
+ * HostSystem::saveSnapshot() covers the host alone (VMs are owned by
+ * callers, not the host). These helpers frame host state plus any
+ * number of VM states into a single crash-safe file, for demos and
+ * tests that want to kill a run mid-attack and come back to the exact
+ * same simulated machine.
+ *
+ * Configurations are never serialized: the loader rebuilds from the
+ * same SystemConfig / VmConfig values (enforced by the embedded host
+ * fingerprint) and only the mutable state travels in the file.
+ */
+
+#ifndef HYPERHAMMER_SNAPSHOT_SNAPSHOT_H
+#define HYPERHAMMER_SNAPSHOT_SNAPSHOT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "sys/host_system.h"
+#include "vm/virtual_machine.h"
+
+namespace hh::snapshot {
+
+/**
+ * Atomically write @p host plus @p vms (in the given order) to
+ * @p path. The VM order is part of the format; pass VMs in creation
+ * order so loadWorld() can zip them with their configs.
+ */
+[[nodiscard]] base::Status
+saveWorld(const sys::HostSystem &host,
+          const std::vector<const vm::VirtualMachine *> &vms,
+          const std::string &path);
+
+/**
+ * Load a world written by saveWorld() into a freshly built @p host of
+ * the identical configuration, rebuilding one restore-mode VM per
+ * entry of @p vm_cfgs (which must match the saved VM count and the
+ * configs used at save time). Any mismatch -- magic, version,
+ * checksum, host fingerprint, VM count or id -- yields a descriptive
+ * error and the host must be discarded.
+ */
+[[nodiscard]] base::Expected<
+    std::vector<std::unique_ptr<vm::VirtualMachine>>>
+loadWorld(sys::HostSystem &host,
+          const std::vector<vm::VmConfig> &vm_cfgs,
+          const std::string &path);
+
+} // namespace hh::snapshot
+
+#endif // HYPERHAMMER_SNAPSHOT_SNAPSHOT_H

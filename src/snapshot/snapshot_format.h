@@ -1,0 +1,43 @@
+/**
+ * @file
+ * On-disk identifiers of the crash-safe snapshot formats.
+ *
+ * Every snapshot file produced by this repo is framed by
+ * base::saveArchiveFile(): magic, format version, payload length and an
+ * FNV-1a checksum ahead of the payload. The constants here pick the
+ * magic per file kind and pin the single format version shared by all
+ * serialized subsystems.
+ *
+ * Bump kSnapshotFormatVersion whenever any saveState() encoding
+ * changes shape; tools/hh_lint.py (rule `snapshot-version`, backed by
+ * tools/snapshot_manifest.json) fails the build when a serialized
+ * struct changes without a bump. Old snapshots are rejected by version,
+ * never reinterpreted.
+ */
+
+#ifndef HYPERHAMMER_SNAPSHOT_SNAPSHOT_FORMAT_H
+#define HYPERHAMMER_SNAPSHOT_SNAPSHOT_FORMAT_H
+
+#include <cstdint>
+
+namespace hh::snapshot {
+
+/** Whole-host snapshot (HostSystem::saveSnapshot): "HHHOST\n" + v. */
+constexpr uint64_t kHostSnapshotMagic = 0x4848484f53540a01ull;
+
+/** Host + VMs world snapshot (snapshot::saveWorld): "HHWRLD\n" + v. */
+constexpr uint64_t kWorldSnapshotMagic = 0x484857524c440a01ull;
+
+/** Orchestrator campaign checkpoint (runAttempts): "HHCKPT\n" + v. */
+constexpr uint64_t kCheckpointMagic = 0x4848434b50540a01ull;
+
+/**
+ * Format version of every serialized payload. One shared version: a
+ * change in any subsystem's encoding invalidates all snapshot kinds,
+ * which is exactly the safe behaviour for crash-resume state.
+ */
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+} // namespace hh::snapshot
+
+#endif // HYPERHAMMER_SNAPSHOT_SNAPSHOT_FORMAT_H

@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/rng.h"
 #include "base/sim_clock.h"
+#include "base/status.h"
 #include "dram/dram_system.h"
 #include "fault/fault.h"
 #include "mm/buddy_allocator.h"
@@ -129,6 +131,53 @@ class HostSystem
      * lists (attack attempts are not deterministic replays).
      */
     void pageCacheChurn(uint64_t pages);
+
+    /** @name Crash-safe snapshots */
+    /// @{
+
+    /**
+     * FNV fingerprint over every SystemConfig field that shapes
+     * serialized state. Snapshots embed it; loadSnapshot() refuses a
+     * file taken under a different configuration (state would be
+     * meaningless against mismatched geometry or fault plans).
+     */
+    uint64_t configFingerprint() const;
+
+    /**
+     * Serialize the full host: virtual clock, fault-injector cursors,
+     * DRAM contents and counters, buddy free lists, the host RNG, the
+     * VM id counter and the resident noise-page sets. VMs are owned by
+     * callers and serialize separately (vm::VirtualMachine::saveState).
+     */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /**
+     * Restore state written by saveState() over this booted host. The
+     * nested subsystems commit as they load, so on failure the host is
+     * partially modified and must be discarded -- corrupt payloads are
+     * normally stopped earlier by the file checksum.
+     */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
+
+    /** Atomically write a host snapshot (temp + fsync + rename). */
+    [[nodiscard]] base::Status saveSnapshot(const std::string &path) const;
+
+    /**
+     * Load a snapshot written by saveSnapshot(). Wrong magic, stale
+     * format version, checksum mismatch, truncation and configuration
+     * fingerprint mismatch each produce a descriptive Status; on any
+     * failure discard this host and rebuild.
+     */
+    [[nodiscard]] base::Status loadSnapshot(const std::string &path);
+
+    /**
+     * Build a restore-mode VM shell attached to this host: no boot
+     * allocations, no clock charge, no churn. Follow with the VM's
+     * loadState(); @p vm_id must match the id stored in the snapshot.
+     */
+    std::unique_ptr<vm::VirtualMachine>
+    restoreVm(const vm::VmConfig &vm_cfg, uint16_t vm_id);
+    /// @}
 
   private:
     SystemConfig cfg;

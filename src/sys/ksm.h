@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
@@ -81,6 +82,15 @@ class Ksm
 
     /** True when the frame behind (machine, gpa) is currently shared. */
     bool isShared(vm::VirtualMachine &machine, GuestPhysAddr gpa) const;
+
+    /** Serialize merge state: stable tree, reverse map, COW frames. */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /**
+     * Restore state written by saveState(). Registered VMs must be
+     * re-attach()ed by the caller (fault handlers are not serialized).
+     */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     struct StableNode

@@ -78,4 +78,39 @@ VirtioBalloonDevice::deflatePage(GuestPhysAddr gpa)
     return base::Status::success();
 }
 
+void
+VirtioBalloonDevice::saveState(base::ArchiveWriter &w) const
+{
+    w.u64vec(base::sortedKeys(inflated));
+    w.u64(replacements.size());
+    for (const auto &[gpa, pfn] : base::sortedItems(replacements)) {
+        w.u64(gpa);
+        w.u64(pfn);
+    }
+}
+
+base::Status
+VirtioBalloonDevice::loadState(base::ArchiveReader &r)
+{
+    const std::vector<uint64_t> inflated_gpas = r.u64vec();
+    const uint64_t replacement_count = r.count(16);
+    std::unordered_map<uint64_t, Pfn> new_replacements;
+    new_replacements.reserve(replacement_count);
+    for (uint64_t i = 0; i < replacement_count && r.ok(); ++i) {
+        const uint64_t gpa = r.u64();
+        const Pfn pfn = r.u64();
+        if (pfn >= buddy.totalPages()) {
+            r.fail();
+            break;
+        }
+        new_replacements[gpa] = pfn;
+    }
+    if (!r.ok())
+        return r.status();
+    inflated.clear();
+    inflated.insert(inflated_gpas.begin(), inflated_gpas.end());
+    replacements = std::move(new_replacements);
+    return base::Status::success();
+}
+
 } // namespace hh::virtio

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
@@ -73,6 +74,12 @@ class VirtioBalloonDevice
 
     /** Pages currently in the balloon. */
     uint64_t inflatedCount() const { return inflated.size(); }
+
+    /** Serialize the inflated set and replacement map (sorted order). */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore state written by saveState(). */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     dram::DramSystem &dram;

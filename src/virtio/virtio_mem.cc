@@ -41,6 +41,26 @@ VirtioMemDevice::VirtioMemDevice(dram::DramSystem &dram,
     }
 }
 
+VirtioMemDevice::VirtioMemDevice(dram::DramSystem &dram,
+                                 mm::BuddyAllocator &buddy, kvm::Mmu &mmu,
+                                 iommu::VfioContainer *vfio,
+                                 VirtioMemConfig config, uint16_t owner_id,
+                                 fault::FaultInjector *fault_injector,
+                                 base::RestoreTag)
+    : dram(dram),
+      buddy(buddy),
+      mmu(mmu),
+      vfio(vfio),
+      cfg(config),
+      owner(owner_id),
+      faultInjector(fault_injector)
+{
+    // No initial plugging: the snapshot's plugged/backing state (and
+    // the matching buddy/EPT/pin state) arrives via loadState().
+    plugged.assign(cfg.regionSize / kHugePageSize, false);
+    backing.assign(plugged.size(), kInvalidPfn);
+}
+
 VirtioMemDevice::~VirtioMemDevice()
 {
     // Release remaining plugged blocks back to the host (VM teardown).
@@ -225,6 +245,63 @@ VirtioMemDriver::plugWithRetry(SubBlockId sb)
     if (device.isPlugged(sb))
         (void)device.requestUnplug(sb);
     return device.requestPlug(sb);
+}
+
+void
+VirtioMemDevice::saveState(base::ArchiveWriter &w) const
+{
+    w.u64(plugged.size());
+    for (size_t sb = 0; sb < plugged.size(); ++sb)
+        w.boolean(plugged[sb]);
+    w.u64vec(backing);
+    w.u64(pluggedBytes);
+    w.u64(requestedBytes);
+    w.u64(devStats.plugRequests);
+    w.u64(devStats.unplugRequests);
+    w.u64(devStats.nackedRequests);
+    w.u64(devStats.deferredUnplugs);
+    w.u64vec(devStats.releasedBlockPfns);
+}
+
+base::Status
+VirtioMemDevice::loadState(base::ArchiveReader &r)
+{
+    const uint64_t sub_blocks = r.u64();
+    if (r.ok() && sub_blocks != plugged.size())
+        r.fail();
+    std::vector<bool> new_plugged(r.ok() ? sub_blocks : 0);
+    for (size_t sb = 0; sb < new_plugged.size() && r.ok(); ++sb)
+        new_plugged[sb] = r.boolean();
+    std::vector<Pfn> new_backing = r.u64vec();
+    if (r.ok() && new_backing.size() != backing.size())
+        r.fail();
+    const uint64_t new_plugged_bytes = r.u64();
+    const uint64_t new_requested_bytes = r.u64();
+    VirtioMemStats stats;
+    stats.plugRequests = r.u64();
+    stats.unplugRequests = r.u64();
+    stats.nackedRequests = r.u64();
+    stats.deferredUnplugs = r.u64();
+    stats.releasedBlockPfns = r.u64vec();
+    for (size_t sb = 0; sb < new_backing.size() && r.ok(); ++sb) {
+        // A plugged sub-block must have in-range backing; an unplugged
+        // one must not claim any (the teardown path trusts this).
+        const bool has_backing = new_backing[sb] != kInvalidPfn;
+        if (new_plugged[sb] != has_backing
+            || (has_backing
+                && new_backing[sb] + kPagesPerHugePage
+                       > buddy.totalPages())) {
+            r.fail();
+        }
+    }
+    if (!r.ok())
+        return r.status();
+    plugged = std::move(new_plugged);
+    backing = std::move(new_backing);
+    pluggedBytes = new_plugged_bytes;
+    requestedBytes = new_requested_bytes;
+    devStats = std::move(stats);
+    return base::Status::success();
 }
 
 } // namespace hh::virtio

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
@@ -110,6 +111,16 @@ class VirtioMemDevice
                     VirtioMemConfig config, uint16_t owner_id,
                     fault::FaultInjector *fault_injector = nullptr);
 
+    /**
+     * Restore-mode constructor: skips the initial sub-block plugging
+     * (the snapshot carries the plugged set); loadState() must follow.
+     */
+    VirtioMemDevice(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
+                    kvm::Mmu &mmu, iommu::VfioContainer *vfio,
+                    VirtioMemConfig config, uint16_t owner_id,
+                    fault::FaultInjector *fault_injector,
+                    base::RestoreTag);
+
     ~VirtioMemDevice();
 
     VirtioMemDevice(const VirtioMemDevice &) = delete;
@@ -171,6 +182,12 @@ class VirtioMemDevice
 
     const VirtioMemStats &stats() const { return devStats; }
 
+    /** Serialize plugged bitmap, backing frames, sizes and stats. */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /** Restore state written by saveState(). */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
+
   private:
     dram::DramSystem &dram;
     mm::BuddyAllocator &buddy;
@@ -225,6 +242,17 @@ class VirtioMemDriver
      */
     void setSuppressAutoPlug(bool suppress) { suppressPlug = suppress; }
     bool suppressAutoPlug() const { return suppressPlug; }
+
+    /** Serialize the driver's only state, the auto-plug switch. */
+    void saveState(base::ArchiveWriter &w) const { w.boolean(suppressPlug); }
+
+    /** Restore state written by saveState(). */
+    [[nodiscard]] base::Status
+    loadState(base::ArchiveReader &r)
+    {
+        suppressPlug = r.boolean();
+        return r.status();
+    }
 
     /**
      * The benign pattern that defeats naive quarantining (Section 6):

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "dram/dram_system.h"
@@ -62,6 +63,17 @@ class VirtualMachine
     VirtualMachine(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
                    VmConfig config, uint16_t vm_id,
                    fault::FaultInjector *fault_injector = nullptr);
+
+    /**
+     * Restore-mode constructor: builds the device shells without
+     * booting (no RAM allocation, no EPT mapping, no initial virtio
+     * plug); loadState() must follow to install the snapshot state.
+     */
+    VirtualMachine(dram::DramSystem &dram, mm::BuddyAllocator &buddy,
+                   VmConfig config, uint16_t vm_id,
+                   fault::FaultInjector *fault_injector,
+                   base::RestoreTag);
+
     ~VirtualMachine();
 
     VirtualMachine(const VirtualMachine &) = delete;
@@ -222,6 +234,20 @@ class VirtualMachine
     /** Enumerate all currently usable guest 2 MB hugepage GPAs. */
     std::vector<GuestPhysAddr> hugePageGpas() const;
     /// @}
+
+    /**
+     * Serialize the VM's host-side metadata: MMU, VFIO groups, virtio
+     * devices and boot-block list. Page-table and guest-page contents
+     * live in DRAM and travel with the host snapshot, not here.
+     */
+    void saveState(base::ArchiveWriter &w) const;
+
+    /**
+     * Restore state written by saveState() into a restore-mode VM on
+     * an already-restored host. The write-fault handler is not
+     * serialized; re-attach KSM (or other hooks) afterwards.
+     */
+    [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
     dram::DramSystem &dram;

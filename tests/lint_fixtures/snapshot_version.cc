@@ -1,0 +1,68 @@
+// Fixture for the snapshot-version rule: every saveState() definition
+// is hashed and pinned in a snapshot_manifest.json (the real tree pins
+// tools/snapshot_manifest.json; this fixture carries its own next to
+// the sources, which the rule prefers when scanning a directory that
+// contains one). The fixture manifest records, at version 1:
+//   - Stable::saveState with its current hash   (clean)
+//   - Drifted::saveState with an outdated hash  (fires at the def)
+//   - Removed::saveState with no definition     (fires at the version)
+// Unpinned::saveState is absent from the manifest (fires at the def),
+// and Waived::saveState shows the inline escape hatch.
+// Not compiled; linted only.
+
+#include <cstdint>
+
+namespace fixture {
+
+class ArchiveWriter;
+
+// Whole-manifest findings (gone structs, version mismatch) anchor to
+// this line; per-struct findings anchor to their definitions.
+constexpr uint32_t kSnapshotFormatVersion = 1; // expect: snapshot-version
+
+class Stable
+{
+public:
+    // Hash matches the manifest: no finding.
+    void saveState(ArchiveWriter &w) const
+    {
+        (void)w;
+    }
+};
+
+class Drifted
+{
+public:
+    // The manifest pins an older body of this function.
+    void saveState(ArchiveWriter &w) const // expect: snapshot-version
+    {
+        (void)w;
+        (void)extra; // the layout change a version bump must cover
+    }
+    uint64_t extra = 0;
+};
+
+class Unpinned
+{
+public:
+    // Not in the manifest at all: a new serialized struct.
+    void saveState(ArchiveWriter &w) const // expect: snapshot-version
+    {
+        (void)w;
+        (void)w;
+    }
+};
+
+class Waived
+{
+public:
+    // hh-lint: allow(snapshot-version) -- fixture demonstrating a waiver
+    void saveState(ArchiveWriter &w) const
+    {
+        (void)w;
+        (void)w;
+        (void)w;
+    }
+};
+
+} // namespace fixture

@@ -58,6 +58,30 @@ TEST(FaultRegistry, SiteNamesUniqueAndNonEmpty)
     EXPECT_NE(std::string(fault::kindName(fault::FaultKind::AllocFail)), "");
 }
 
+TEST(FaultRegistry, StreamIdsCollisionFreeAcrossSitesAndHosts)
+{
+    // Each injector derives per-site Rng streams as
+    // SeedSequence(mix64(host seed, plan seed)).seed(site index); a
+    // collision would make two sites (or two trial hosts) fire in
+    // lockstep. Audit the derivation across a batch of host and plan
+    // seeds, including the adjacent values per-trial clones use.
+    std::set<uint64_t> stream_seeds;
+    size_t derived = 0;
+    for (uint64_t host_seed = 1; host_seed <= 16; ++host_seed) {
+        for (uint64_t plan_seed : {1ull, 2ull, 21ull, 42ull}) {
+            const base::SeedSequence seq(
+                base::mix64(host_seed, plan_seed));
+            for (size_t site = 0; site < fault::kFaultSiteCount;
+                 ++site) {
+                stream_seeds.insert(seq.seed(site));
+                ++derived;
+            }
+        }
+    }
+    EXPECT_EQ(stream_seeds.size(), derived)
+        << "fault stream-id collision: two sites share an Rng stream";
+}
+
 TEST(FaultInjector, EntryFiresExactlyOnSchedule)
 {
     // firstHit=3, every=2, count=2: occurrences 3 and 5 fire, nothing

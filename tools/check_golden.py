@@ -9,6 +9,12 @@ explicitly re-baselined with --update.
 
 Usage:
     check_golden.py --bench-dir <dir-with-bench-binaries> [--update]
+                    [--diff-file <path>]
+
+On a mismatch the unified diff goes to stdout, to --diff-file when
+given (so CI can upload it as an artifact), and -- when running under
+GitHub Actions -- into the job summary ($GITHUB_STEP_SUMMARY), so the
+divergence is readable without digging through raw logs.
 
 Exit status: 0 when every trace matches (or was updated), 1 on any
 mismatch or bench failure.
@@ -16,6 +22,7 @@ mismatch or bench failure.
 
 import argparse
 import difflib
+import os
 import pathlib
 import subprocess
 import sys
@@ -52,15 +59,34 @@ def run_bench(bench_dir: pathlib.Path, name: str) -> str:
     return result.stdout
 
 
+def write_step_summary(failed: list[str], diff_text: str) -> None:
+    """Echo the diff into the GitHub job summary, when available."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as summary:
+        summary.write("## Golden-trace mismatch\n\n")
+        summary.write("Diverging benches: " + ", ".join(failed) + "\n\n")
+        summary.write(
+            "Intentional behaviour change? Re-baseline with "
+            "`tools/check_golden.py --bench-dir <dir> --update` and "
+            "commit the new traces.\n\n")
+        summary.write("```diff\n" + diff_text + "```\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench-dir", required=True, type=pathlib.Path,
                         help="directory holding the bench binaries")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the golden files instead of diffing")
+    parser.add_argument("--diff-file", type=pathlib.Path,
+                        help="also write the combined unified diff here "
+                             "(for CI artifact upload)")
     args = parser.parse_args()
 
-    failures = 0
+    failed: list[str] = []
+    diff_chunks: list[str] = []
     for bench, golden_name in TRACES:
         actual = run_bench(args.bench_dir, bench)
         golden_path = GOLDEN_DIR / golden_name
@@ -72,22 +98,32 @@ def main() -> int:
         if not golden_path.exists():
             print(f"FAIL {bench}: missing golden file {golden_path}; "
                   f"run with --update to create it")
-            failures += 1
+            failed.append(bench)
             continue
         expected = golden_path.read_text()
         if actual == expected:
             print(f"ok   {bench} matches {golden_name}")
             continue
-        failures += 1
+        failed.append(bench)
         print(f"FAIL {bench}: output differs from {golden_name}")
-        diff = difflib.unified_diff(
+        diff = "".join(difflib.unified_diff(
             expected.splitlines(keepends=True),
             actual.splitlines(keepends=True),
             fromfile=f"golden/{golden_name}",
             tofile=f"{bench} (current)",
-        )
-        sys.stdout.writelines(diff)
-    return 1 if failures else 0
+        ))
+        sys.stdout.write(diff)
+        diff_chunks.append(diff)
+
+    diff_text = "".join(diff_chunks)
+    if args.diff_file and not args.update:
+        args.diff_file.parent.mkdir(parents=True, exist_ok=True)
+        args.diff_file.write_text(diff_text)
+        if failed:
+            print(f"diff written to {args.diff_file}")
+    if failed:
+        write_step_summary(failed, diff_text)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -23,7 +23,17 @@ Rules (see docs/static_analysis.md for the rationale and how to add one):
                       registered in src/fault/fault_sites.def, and each
                       site may be consumed by at most one injection
                       point (site identity seeds the fault stream)
+  snapshot-version    every saveState() body is hashed and pinned in
+                      tools/snapshot_manifest.json; changing a
+                      serialized layout without bumping
+                      kSnapshotFormatVersion would let old snapshots be
+                      silently reinterpreted instead of rejected
   bad-waiver          an hh-lint waiver without a justification
+
+After an intentional format change: bump kSnapshotFormatVersion in
+src/snapshot/snapshot_format.h, then regenerate the manifest with
+`hh_lint.py --update-snapshot-manifest` (it refuses to re-pin while
+the version is unchanged).
 
 Waivers: append `// hh-lint: allow(rule-a,rule-b) -- why it is safe`
 to the offending line (or put the comment alone on the line above).
@@ -34,6 +44,7 @@ Exit codes: 0 clean, 1 findings, 2 usage/config error.
 """
 
 import argparse
+import hashlib
 import json
 import re
 import sys
@@ -61,6 +72,9 @@ RULES = {
     "fault-site": "HH_FAULT_POINT site must be registered in "
                   "src/fault/fault_sites.def and consumed by exactly "
                   "one injection point",
+    "snapshot-version": "serialized saveState() layout changed without "
+                        "a kSnapshotFormatVersion bump; bump it and run "
+                        "hh_lint.py --update-snapshot-manifest",
     "bad-waiver": "hh-lint waiver without a `-- justification`",
 }
 
@@ -90,6 +104,12 @@ NAKED_DELETE_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w(*]")
 FAULT_POINT_RE = re.compile(r"\bHH_FAULT_POINT\s*\(")
 FAULT_SITE_NAME_RE = re.compile(r"\bFaultSite\s*::\s*(\w+)")
 FAULT_SITE_DEF_RE = re.compile(r"\bHH_FAULT_SITE\s*\(\s*(\w+)\s*,")
+SAVE_STATE_DEF_RE = re.compile(r"\b(?:(\w+)\s*::\s*)?saveState\s*\(")
+# Qualifiers allowed between a parameter list and the function body.
+FUNC_BODY_OPEN_RE = re.compile(
+    r"(?:\s|\bconst\b|\bnoexcept\b|\boverride\b|\bfinal\b)*\{")
+SNAPSHOT_VERSION_RE = re.compile(r"\bkSnapshotFormatVersion\s*=\s*(\d+)")
+CLASS_NAME_RE = re.compile(r"\b(?:class|struct)\s+(\w+)")
 
 
 def strip_code(text):
@@ -240,7 +260,74 @@ def scan_fault_points(path, stripped, waivers, enabled_for,
             site_uses.setdefault(name, []).append((path, lineno))
 
 
-def lint_file(path, enabled_for, fault_registry=None, site_uses=None):
+def find_matching(text, open_idx, open_ch, close_ch):
+    """Index of the delimiter closing text[open_idx], or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def scan_save_states(path, stripped, waivers, enabled_for, records):
+    """Collect every saveState() *definition* in this file.
+
+    Each record pins the function's normalized body under a stable hash
+    so check_snapshot_manifest can detect a serialized-layout change
+    that was not accompanied by a kSnapshotFormatVersion bump.
+    Declarations and call sites (no `{` after the parameter list) are
+    skipped.
+    """
+    if records is None or not enabled_for("snapshot-version"):
+        return
+    for m in SAVE_STATE_DEF_RE.finditer(stripped):
+        params_close = find_matching(stripped, m.end() - 1, "(", ")")
+        if params_close == -1:
+            continue
+        body = FUNC_BODY_OPEN_RE.match(stripped, params_close + 1)
+        if body is None:
+            continue  # declaration or call, not a definition
+        body_close = find_matching(stripped, body.end() - 1, "{", "}")
+        if body_close == -1:
+            continue
+        name = m.group(1)
+        if not name:
+            # Inline member definition: attribute it to the nearest
+            # preceding class/struct.
+            classes = CLASS_NAME_RE.findall(stripped[:m.start()])
+            name = classes[-1] if classes else "?"
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        normalized = " ".join(stripped[m.start():body_close + 1].split())
+        records.append({
+            "path": path,
+            "line": lineno,
+            "name": name,
+            "hash": hashlib.sha256(
+                normalized.encode()).hexdigest()[:16],
+            "waived": "snapshot-version" in waivers.get(lineno, set()),
+        })
+
+
+def scan_snapshot_versions(path, stripped, waivers, versions):
+    """Record every kSnapshotFormatVersion definition (normally one)."""
+    if versions is None:
+        return
+    for m in SNAPSHOT_VERSION_RE.finditer(stripped):
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        versions.append({
+            "path": path,
+            "line": lineno,
+            "value": int(m.group(1)),
+            "waived": "snapshot-version" in waivers.get(lineno, set()),
+        })
+
+
+def lint_file(path, enabled_for, fault_registry=None, site_uses=None,
+              save_states=None, versions=None):
     """Return the findings for one file. @p enabled_for maps a rule name
     to True when this path is subject to it (allow_paths applied)."""
     raw = path.read_text(errors="replace")
@@ -267,6 +354,8 @@ def lint_file(path, enabled_for, fault_registry=None, site_uses=None):
 
     scan_fault_points(path, texts[0], waivers, enabled_for,
                       fault_registry, site_uses, findings)
+    scan_save_states(path, texts[0], waivers, enabled_for, save_states)
+    scan_snapshot_versions(path, texts[0], waivers, versions)
 
     is_header = path.suffix in (".h", ".hh")
 
@@ -346,10 +435,139 @@ def relpath(path, repo_root):
         return str(path)
 
 
+def snapshot_manifest_path(paths, config, repo_root):
+    """tools/snapshot_manifest.json, unless a scanned directory carries
+    its own manifest -- the self-test fixtures do, so the rule can be
+    exercised against a fixture manifest instead of the real one."""
+    exclude = [repo_root / e for e in config["exclude"]]
+    for p in paths:
+        p = Path(p)
+        if not p.is_dir():
+            continue
+        for m in sorted(p.rglob("snapshot_manifest.json")):
+            if not any(m.is_relative_to(e) for e in exclude):
+                return m
+    return repo_root / "tools" / "snapshot_manifest.json"
+
+
+def snapshot_struct_map(save_states, repo_root):
+    """Key each saveState record as `<relpath>::<owner>` (with a `#N`
+    suffix for same-named siblings in one file)."""
+    counts = {}
+    structs = {}
+    for rec in save_states:
+        base = f"{relpath(rec['path'], repo_root)}::{rec['name']}"
+        counts[base] = counts.get(base, 0) + 1
+        key = base if counts[base] == 1 else f"{base}#{counts[base]}"
+        structs[key] = rec
+    return structs
+
+
+def check_snapshot_manifest(paths, config, repo_root, save_states,
+                            versions, findings):
+    """The snapshot-version rule's whole-tree pass.
+
+    Inert when the scanned set defines no kSnapshotFormatVersion (a
+    partial lint run, or a tree without the snapshot layer) or when no
+    manifest exists yet.
+    """
+    manifest_path = snapshot_manifest_path(paths, config, repo_root)
+    if not versions or not manifest_path.exists():
+        return
+    anchor = versions[0]
+
+    def flag(rec, message):
+        if rec.get("waived"):
+            return
+        findings.append(Finding(relpath(rec["path"], repo_root),
+                                rec["line"], "snapshot-version", message))
+
+    manifest_rel = relpath(manifest_path, repo_root)
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        flag(anchor, f"cannot read {manifest_rel}: {err}")
+        return
+    current = anchor["value"]
+    if manifest.get("version") != current:
+        flag(anchor,
+             f"kSnapshotFormatVersion is {current} but {manifest_rel} "
+             f"records {manifest.get('version')}; run hh_lint.py "
+             "--update-snapshot-manifest to re-pin the layouts")
+        return
+    structs = snapshot_struct_map(save_states, repo_root)
+    recorded = manifest.get("structs", {})
+    for key, rec in structs.items():
+        if key not in recorded:
+            flag(rec, f"new serialized layout '{key}' is not pinned in "
+                      f"{manifest_rel}; bump kSnapshotFormatVersion and "
+                      "run --update-snapshot-manifest")
+        elif recorded[key] != rec["hash"]:
+            flag(rec, f"serialized layout of '{key}' changed but "
+                      "kSnapshotFormatVersion did not; old snapshots "
+                      "would be reinterpreted, not rejected -- bump it "
+                      "and run --update-snapshot-manifest")
+    for key in sorted(set(recorded) - set(structs)):
+        flag(anchor, f"{manifest_rel} pins '{key}' but that saveState() "
+                     "definition is gone; bump kSnapshotFormatVersion "
+                     "and run --update-snapshot-manifest")
+
+
+def collect_snapshot_state(paths, config, repo_root):
+    """(save_states, versions) for --update-snapshot-manifest."""
+    save_states, versions = [], []
+    for f in iter_files(paths, config, repo_root):
+        raw = f.read_text(errors="replace")
+        stripped = strip_code(raw)
+        waivers, _ = parse_waivers(raw.splitlines())
+        scan_save_states(f, stripped, waivers, lambda rule: True,
+                         save_states)
+        scan_snapshot_versions(f, stripped, waivers, versions)
+    return save_states, versions
+
+
+def update_snapshot_manifest(config, repo_root):
+    """Regenerate tools/snapshot_manifest.json at the tree's current
+    format version. Refuses while layouts changed under an unchanged
+    version: the bump is the point of the rule."""
+    paths = [repo_root / r for r in config["roots"]]
+    save_states, versions = collect_snapshot_state(paths, config,
+                                                   repo_root)
+    if not versions:
+        print("hh-lint: no kSnapshotFormatVersion in the tree; "
+              "nothing to pin", file=sys.stderr)
+        return 2
+    current = versions[0]["value"]
+    structs = {key: rec["hash"] for key, rec in
+               snapshot_struct_map(save_states, repo_root).items()}
+    manifest_path = repo_root / "tools" / "snapshot_manifest.json"
+    if manifest_path.exists():
+        try:
+            old = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            old = None
+        if (old is not None and old.get("version") == current
+                and old.get("structs") != structs):
+            print("hh-lint: refusing to re-pin: serialized layouts "
+                  "changed but kSnapshotFormatVersion is still "
+                  f"{current}; bump it in src/snapshot/"
+                  "snapshot_format.h first", file=sys.stderr)
+            return 2
+    manifest_path.write_text(json.dumps(
+        {"version": current, "structs": dict(sorted(structs.items()))},
+        indent=2) + "\n")
+    print(f"hh-lint: pinned {len(structs)} serialized layout(s) at "
+          f"format version {current} in "
+          f"{relpath(manifest_path, repo_root)}")
+    return 0
+
+
 def run_lint(paths, config, repo_root):
     findings = []
     fault_registry = load_fault_registry(repo_root)
     site_uses = {}
+    save_states = []
+    versions = []
     for f in iter_files(paths, config, repo_root):
         rel = relpath(f, repo_root)
 
@@ -358,9 +576,11 @@ def run_lint(paths, config, repo_root):
                            for prefix in config["allow"].get(rule, []))
 
         for finding in lint_file(f, enabled_for, fault_registry,
-                                 site_uses):
+                                 site_uses, save_states, versions):
             finding.path = rel
             findings.append(finding)
+    check_snapshot_manifest(paths, config, repo_root, save_states,
+                            versions, findings)
     for name in sorted(site_uses):
         uses = site_uses[name]
         first = f"{relpath(uses[0][0], repo_root)}:{uses[0][1]}"
@@ -420,6 +640,11 @@ def main(argv):
                         help="also write a JSON findings report here")
     parser.add_argument("--self-test", metavar="FIXTURE_DIR",
                         help="run the rule fixtures instead of linting")
+    parser.add_argument("--update-snapshot-manifest", action="store_true",
+                        help="re-pin saveState() layout hashes in "
+                             "tools/snapshot_manifest.json (requires a "
+                             "kSnapshotFormatVersion bump when layouts "
+                             "changed)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args(argv)
 
@@ -438,6 +663,9 @@ def main(argv):
         default = repo_root / ".hh-lint.toml"
         config_path = default if default.exists() else None
     config = load_config(config_path)
+
+    if args.update_snapshot_manifest:
+        return update_snapshot_manifest(config, repo_root)
 
     paths = args.paths or [repo_root / r for r in config["roots"]]
     findings = run_lint(paths, config, repo_root)
