@@ -32,8 +32,15 @@ hostConfig(const Options &opts)
 void
 quarantineRows(const Options &opts, analysis::TextTable &table)
 {
+    // Both rows run on identically configured hosts: fork one template
+    // world per row instead of re-constructing it from scratch.
+    const sys::SystemConfig cfg = hostConfig(opts);
+    const std::unique_ptr<const sys::HostSystem> template_world =
+        sys::HostSystem::makeForkTemplate(cfg);
     for (const bool quarantine : {false, true}) {
-        sys::HostSystem host(hostConfig(opts));
+        const std::unique_ptr<sys::HostSystem> forked =
+            sys::HostSystem::forkTrial(*template_world, cfg);
+        sys::HostSystem &host = *forked;
         vm::VmConfig vm_cfg = paperVmConfig(host.config());
         vm_cfg.quarantine.enabled = quarantine;
         auto machine = host.createVm(vm_cfg);

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal JSON metrics reporter for the perf-smoke benches.
+ *
+ * A bench collects flat key -> number (or string) metrics into a
+ * JsonReport and writes them as one sorted JSON object, e.g.
+ * BENCH_clone.json / BENCH_table3.json. tools/check_bench.py diffs the
+ * gated ratio metrics against the checked-in baseline in
+ * bench/baselines/ and fails CI on a >20% regression.
+ *
+ * This header is the one sanctioned wall-clock site outside
+ * src/base/sim_clock.*: perf metrics measure the host, not the
+ * simulation, so they must NOT be charged to virtual time (and they
+ * never feed back into simulated behaviour -- the determinism
+ * guarantee is about simulation state, not about how long the host
+ * took to compute it). The hh-lint wall-clock exemption for this file
+ * lives in .hh-lint.toml.
+ */
+
+#ifndef HYPERHAMMER_BENCH_BENCH_JSON_H
+#define HYPERHAMMER_BENCH_BENCH_JSON_H
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace hh::bench {
+
+/** Host wall-clock stopwatch (perf measurement only; see @file). */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction (or the last restart()). */
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start).count();
+    }
+
+    void restart() { start = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/** Peak resident set size of this process so far, in bytes. */
+inline uint64_t
+peakRssBytes()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/**
+ * Flat JSON object writer: set() metrics, then writeFile(). Keys are
+ * emitted sorted so reports diff cleanly.
+ */
+class JsonReport
+{
+  public:
+    void set(const std::string &key, double value) { values[key] = value; }
+    void
+    set(const std::string &key, uint64_t value)
+    {
+        values[key] = static_cast<double>(value);
+    }
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        values[key] = value;
+    }
+
+    /** Render the report as a pretty-printed JSON object. */
+    std::string
+    render() const
+    {
+        std::string out = "{\n";
+        for (auto it = values.begin(); it != values.end(); ++it) {
+            out += "  \"" + it->first + "\": ";
+            if (const double *num = std::get_if<double>(&it->second)) {
+                char buf[64];
+                // %.17g round-trips doubles; trim to a clean integer
+                // spelling when the value is integral.
+                if (*num == static_cast<uint64_t>(*num)
+                    && *num >= 0 && *num < 1e15) {
+                    std::snprintf(buf, sizeof buf, "%llu",
+                                  static_cast<unsigned long long>(*num));
+                } else {
+                    std::snprintf(buf, sizeof buf, "%.17g", *num);
+                }
+                out += buf;
+            } else {
+                out += "\"" + std::get<std::string>(it->second) + "\"";
+            }
+            out += std::next(it) != values.end() ? ",\n" : "\n";
+        }
+        out += "}\n";
+        return out;
+    }
+
+    /** Write the report to @p path; returns false on I/O failure. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        const std::string text = render();
+        const bool ok =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        return (std::fclose(f) == 0) && ok;
+    }
+
+  private:
+    std::map<std::string, std::variant<double, std::string>> values;
+};
+
+} // namespace hh::bench
+
+#endif // HYPERHAMMER_BENCH_BENCH_JSON_H

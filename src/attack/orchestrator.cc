@@ -419,7 +419,8 @@ HyperHammerAttack::run()
 AttemptOutcome
 HyperHammerAttack::runTrial(uint64_t trial) const
 {
-    // Clone the host. dram.seed is kept, so the cloned DIMM has the
+    // Fork the trial world from the shared pristine template.
+    // dram.seed is kept, so the forked DIMM has the
     // identical fault map and the host-physical profile remains valid;
     // the top-level seed moves to a per-trial stream, giving each
     // trial its own boot-noise and free-list history -- the parallel
@@ -427,7 +428,10 @@ HyperHammerAttack::runTrial(uint64_t trial) const
     // samples rather than replays.
     sys::SystemConfig trial_cfg = host.config();
     trial_cfg.seed = base::SeedSequence(host.config().seed).seed(trial);
-    sys::HostSystem trial_host(trial_cfg);
+    HH_ASSERT(trialTemplate != nullptr);
+    const std::unique_ptr<sys::HostSystem> forked =
+        sys::HostSystem::forkTrial(*trialTemplate, trial_cfg);
+    sys::HostSystem &trial_host = *forked;
 
     const PlantedSecret planted = plantSecret(trial_host);
     const base::SimTime start = trial_host.clock().now();
@@ -620,6 +624,14 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
         }
     }
     const unsigned resumed = static_cast<unsigned>(outcomes.size());
+
+    // Build the canonical template world once: every trial forks it
+    // in O(pages touched) instead of rebuilding a host from scratch.
+    // The template is pristine (un-booted), so it is identical for
+    // every trial seed and can be shared across worker threads.
+    if (!trialTemplate)
+        trialTemplate =
+            sys::HostSystem::makeForkTemplate(host.config());
 
     uint64_t first_success = attempts;
     for (uint64_t trial = 0; trial < outcomes.size(); ++trial) {

@@ -241,6 +241,14 @@ class HyperHammerAttack
     /** VM kept alive between profilePhase() and the first attempt. */
     std::unique_ptr<vm::VirtualMachine> machine;
 
+    /**
+     * Pristine un-booted world every trial forks from, built lazily
+     * on the first runAttempts() call and shared (read-only) by all
+     * worker threads. mutable because runTrial() is const and must be
+     * able to rely on it.
+     */
+    mutable std::unique_ptr<const sys::HostSystem> trialTemplate;
+
     /** A hypervisor secret planted in a host's kernel memory. */
     struct PlantedSecret
     {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "base/bitops.h"
 #include "base/log.h"
@@ -13,8 +12,11 @@ DramSystem::DramSystem(DramConfig config, base::SimClock &clock)
     : cfg(std::move(config)),
       clock(clock),
       data(cfg.totalBytes),
-      faults(cfg.fault, base::mix64(cfg.seed, 0xd1a),
-             cfg.mapping.rowBytesPerBank()),
+      faults(std::make_shared<const FaultModel>(
+          cfg.fault, base::mix64(cfg.seed, 0xd1a),
+          cfg.mapping.rowBytesPerBank())),
+      weakRows(std::make_shared<const WeakRowIndex>(
+          *faults, cfg.mapping.bankCount(), maxRowId() + 1)),
       trr(cfg.trr),
       ecc(cfg.ecc),
       rng(base::mix64(cfg.seed, 0x5eed)),
@@ -22,6 +24,31 @@ DramSystem::DramSystem(DramConfig config, base::SimClock &clock)
 {
     HH_ASSERT(base::isPowerOfTwo(cfg.totalBytes));
     HH_ASSERT(cfg.totalBytes >= kHugePageSize);
+}
+
+DramSystem::DramSystem(ForkTag, const DramSystem &src,
+                       base::SimClock &clock)
+    : cfg(src.cfg),
+      clock(clock),
+      data(src.data.fork()),
+      faults(src.faults),
+      weakRows(src.weakRows),
+      trr(src.trr),
+      ecc(src.ecc),
+      rng(src.rng),
+      openRows(src.openRows),
+      flipCount(src.flipCount),
+      eccCorrected(src.eccCorrected),
+      trrSuppressed(src.trrSuppressed)
+{}
+
+RowId
+DramSystem::maxRowId() const
+{
+    return std::min<uint64_t>(
+        (cfg.totalBytes - 1) >> cfg.mapping.rowLoBit(),
+        (1ull << (cfg.mapping.rowHiBit() - cfg.mapping.rowLoBit() + 1))
+            - 1);
 }
 
 uint64_t
@@ -94,9 +121,14 @@ DramSystem::evaluateVictimRow(BankId bank, RowId row, uint64_t disturbance,
                               unsigned windows,
                               std::vector<FlipEvent> &candidates)
 {
-    if (!faults.rowIsWeak(bank, row))
+    // Bit probe first: the precomputed index answers the common "row
+    // is not weak" case without hashing, and always agrees with the
+    // oracle (it was built from it).
+    if (!weakRows->isWeak(bank, row))
         return;
-    for (const WeakCell &cell : faults.weakCellsInRow(bank, row)) {
+    cellScratch.clear();
+    faults->weakCellsInRow(bank, row, cellScratch);
+    for (const WeakCell &cell : cellScratch) {
         if (disturbance < cell.threshold)
             continue;
         // Each refresh window is an independent chance for the cell.
@@ -148,18 +180,31 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
     if (aggressors.empty() || rounds == 0)
         return applied;
 
-    // Deduplicate aggressors by (bank, row).
-    std::map<std::pair<BankId, RowId>, unsigned> agg_rows;
+    // Deduplicate aggressors by (bank, row). A sorted flat vector
+    // replaces the old per-call std::map: identical iteration order
+    // (so the rng draw sequence is unchanged), no node allocations.
+    std::vector<std::pair<BankId, RowId>> agg_rows;
+    agg_rows.reserve(aggressors.size());
     for (HostPhysAddr addr : aggressors) {
         HH_ASSERT(data.contains(addr));
-        agg_rows[{cfg.mapping.bankOf(addr), cfg.mapping.rowOf(addr)}] = 0;
+        agg_rows.emplace_back(cfg.mapping.bankOf(addr),
+                              cfg.mapping.rowOf(addr));
     }
-    // Count aggressors per bank (input to the TRR sampler).
-    std::map<BankId, unsigned> per_bank;
-    for (const auto &[key, unused] : agg_rows)
-        ++per_bank[key.first];
-    for (auto &[key, bank_count] : agg_rows)
-        bank_count = per_bank[key.first];
+    std::sort(agg_rows.begin(), agg_rows.end());
+    agg_rows.erase(std::unique(agg_rows.begin(), agg_rows.end()),
+                   agg_rows.end());
+    // Count aggressors per bank (input to the TRR sampler): the sort
+    // groups equal banks into runs.
+    std::vector<unsigned> agg_bank_count(agg_rows.size());
+    for (size_t i = 0; i < agg_rows.size();) {
+        size_t j = i;
+        while (j < agg_rows.size()
+               && agg_rows[j].first == agg_rows[i].first)
+            ++j;
+        for (size_t k = i; k < j; ++k)
+            agg_bank_count[k] = static_cast<unsigned>(j - i);
+        i = j;
+    }
 
     // Charge virtual time for every activation (RowPress keeps the
     // row open longer per activation).
@@ -191,13 +236,11 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
     }
 
     // Accumulate disturbance on neighbouring victim rows.
-    const RowId max_row =
-        std::min<uint64_t>((cfg.totalBytes - 1) >> cfg.mapping.rowLoBit(),
-                           (1ull << (cfg.mapping.rowHiBit()
-                                     - cfg.mapping.rowLoBit() + 1)) - 1);
-    std::map<std::pair<BankId, RowId>, uint64_t> victims;
-    for (const auto &[key, bank_count] : agg_rows) {
-        const auto [bank, row] = key;
+    const RowId max_row = maxRowId();
+    std::vector<std::pair<std::pair<BankId, RowId>, uint64_t>> victims;
+    victims.reserve(agg_rows.size() * 2);
+    for (size_t agg_idx = 0; agg_idx < agg_rows.size(); ++agg_idx) {
+        const auto [bank, row] = agg_rows[agg_idx];
         // Spurious TRR: the sampler catches an aggressor it would
         // normally miss. Consulted per aggressor row, before the
         // modeled sampler, so the rng stream is untouched on fire.
@@ -208,18 +251,20 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
                 continue;
             }
         }
-        if (trr.suppresses(bank_count, rng.uniform())) {
+        if (trr.suppresses(agg_bank_count[agg_idx], rng.uniform())) {
             ++trrSuppressed;
             continue;
         }
-        auto add = [&](int64_t delta, double factor) {
+        auto add = [&, bank = bank, row = row](int64_t delta,
+                                               double factor) {
             const int64_t v = static_cast<int64_t>(row) + delta;
             if (v < 0 || v > static_cast<int64_t>(max_row))
                 return;
             const auto amount =
                 static_cast<uint64_t>(disturbance * factor);
             if (amount)
-                victims[{bank, static_cast<RowId>(v)}] += amount;
+                victims.push_back(
+                    {{bank, static_cast<RowId>(v)}, amount});
         };
         add(-1, 1.0);
         add(+1, 1.0);
@@ -229,23 +274,46 @@ DramSystem::hammerImpl(const std::vector<HostPhysAddr> &aggressors,
         }
     }
 
+    // Merge-sum duplicate victim rows. Sorting restores the exact
+    // (bank, row) visit order the old std::map produced, which the
+    // per-victim rng draws depend on.
+    std::sort(victims.begin(), victims.end());
+    size_t merged = 0;
+    for (size_t i = 0; i < victims.size();) {
+        uint64_t sum = 0;
+        size_t j = i;
+        while (j < victims.size()
+               && victims[j].first == victims[i].first)
+            sum += victims[j++].second;
+        victims[merged++] = {victims[i].first, sum};
+        i = j;
+    }
+    victims.resize(merged);
+
     // Activated rows are constantly refreshed; they cannot be victims.
     std::vector<FlipEvent> candidates;
     for (const auto &[key, dist] : victims) {
-        if (agg_rows.count(key))
+        if (std::binary_search(agg_rows.begin(), agg_rows.end(), key))
             continue;
         evaluateVictimRow(key.first, key.second, dist, windows,
                           candidates);
     }
 
     // ECC: group candidate flips per 64-bit word.
-    std::map<uint64_t, unsigned> flips_per_word;
+    std::vector<uint64_t> flip_words;
+    flip_words.reserve(candidates.size());
     for (const FlipEvent &event : candidates)
-        ++flips_per_word[event.wordAddr.value()];
+        flip_words.push_back(event.wordAddr.value());
+    std::sort(flip_words.begin(), flip_words.end());
+    auto flips_in_word = [&flip_words](uint64_t word) {
+        const auto range = std::equal_range(flip_words.begin(),
+                                            flip_words.end(), word);
+        return static_cast<unsigned>(range.second - range.first);
+    };
 
     for (const FlipEvent &event : candidates) {
         bool visible =
-            ecc.flipsVisible(flips_per_word[event.wordAddr.value()]);
+            ecc.flipsVisible(flips_in_word(event.wordAddr.value()));
         // ECC miscorrection: the controller gets it backwards -- a
         // correctable flip slips through, or a visible one is eaten.
         if (const fault::FaultEntry *f = HH_FAULT_POINT(

@@ -13,6 +13,7 @@
 #define HYPERHAMMER_DRAM_DRAM_SYSTEM_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/rng.h"
@@ -99,8 +100,36 @@ struct FlipEvent
  */
 class DramSystem
 {
+  private:
+    /** Restricts the fork constructor to forkFrom(). */
+    struct ForkTag
+    {};
+
   public:
     DramSystem(DramConfig config, base::SimClock &clock);
+
+    /**
+     * Copy-on-write fork constructor (reachable only through
+     * forkFrom(): ForkTag is private). Shares the immutable fault
+     * oracle and weak-row index, forks the data backend page-wise,
+     * and copies the open-row registers, counters and rng cursor.
+     * The fork starts with no fault injector installed.
+     */
+    DramSystem(ForkTag, const DramSystem &src, base::SimClock &clock);
+
+    /** Deep copies are banned: clone via forkFrom(). */
+    DramSystem(const DramSystem &) = delete;
+    DramSystem &operator=(const DramSystem &) = delete;
+
+    /**
+     * A copy-on-write clone of @p src ticking @p clock. O(overlay
+     * pages); call src.backend().freeze() first to make it O(1).
+     */
+    static std::unique_ptr<DramSystem>
+    forkFrom(const DramSystem &src, base::SimClock &clock)
+    {
+        return std::make_unique<DramSystem>(ForkTag{}, src, clock);
+    }
 
     /** Size of physical memory in bytes. */
     uint64_t size() const { return cfg.totalBytes; }
@@ -112,7 +141,10 @@ class DramSystem
     const AddressMapping &mapping() const { return cfg.mapping; }
 
     /** The fault oracle (tests peek at it; attack code must not). */
-    const FaultModel &faultModel() const { return faults; }
+    const FaultModel &faultModel() const { return *faults; }
+
+    /** The precomputed weak-row bitset (shared across forks). */
+    const WeakRowIndex &weakRowIndex() const { return *weakRows; }
 
     /** The data store (host-kernel code reads/writes through this). */
     MemoryBackend &backend() { return data; }
@@ -208,11 +240,20 @@ class DramSystem
     DramConfig cfg;
     base::SimClock &clock;
     MemoryBackend data;
-    FaultModel faults;
+    /**
+     * Immutable, trial-invariant oracle state: both are pure functions
+     * of (dram seed, config) and are shared -- not copied -- by every
+     * fork of this device.
+     */
+    std::shared_ptr<const FaultModel> faults;
+    std::shared_ptr<const WeakRowIndex> weakRows;
     TrrModel trr;
     EccModel ecc;
     base::Rng rng;
     fault::FaultInjector *faultInjector = nullptr;
+
+    /** Reused weak-cell arena for the hammer loop; never serialized. */
+    std::vector<WeakCell> cellScratch;
 
     /** Per-bank open row (for timedAccess); kInvalidRow when closed. */
     static constexpr RowId kNoOpenRow = ~0ull;
@@ -221,6 +262,9 @@ class DramSystem
     uint64_t flipCount = 0;
     uint64_t eccCorrected = 0;
     uint64_t trrSuppressed = 0;
+
+    /** Highest valid row index (bounded by memory size and row bits). */
+    RowId maxRowId() const;
 
     /** Shared hammer/press machinery; amplification >= 1. */
     std::vector<FlipEvent>

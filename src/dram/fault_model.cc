@@ -1,5 +1,7 @@
 #include "fault_model.h"
 
+#include <bit>
+
 #include "base/log.h"
 #include "base/rng.h"
 
@@ -42,6 +44,15 @@ FaultModel::rowIsWeak(BankId bank, RowId row) const
 std::vector<WeakCell>
 FaultModel::weakCellsInRow(BankId bank, RowId row) const
 {
+    std::vector<WeakCell> cells;
+    weakCellsInRow(bank, row, cells);
+    return cells;
+}
+
+void
+FaultModel::weakCellsInRow(BankId bank, RowId row,
+                           std::vector<WeakCell> &out) const
+{
     // Approximate a Poisson(lambda) count for small lambda: one cell
     // with probability lambda, a second with probability lambda/2
     // (matching the first two terms of the distribution closely enough
@@ -53,14 +64,13 @@ FaultModel::weakCellsInRow(BankId bank, RowId row) const
     };
     auto next_raw = [&stream]() { return base::splitMix64(stream); };
 
-    std::vector<WeakCell> cells;
     if (next_u() >= cfg.weakCellsPerRow)
-        return cells;
+        return;
     unsigned count = 1;
     if (next_u() < cfg.weakCellsPerRow / 2.0)
         ++count;
 
-    cells.reserve(count);
+    out.reserve(out.size() + count);
     for (unsigned i = 0; i < count; ++i) {
         WeakCell cell;
         cell.byteInRow = static_cast<uint32_t>(next_raw() % rowBytes);
@@ -73,9 +83,33 @@ FaultModel::weakCellsInRow(BankId bank, RowId row) const
             + static_cast<uint32_t>(next_u() * span);
         cell.flipProbability = next_u() < cfg.stableFraction
             ? 1.0 : cfg.unstableFlipProbability;
-        cells.push_back(cell);
+        out.push_back(cell);
     }
-    return cells;
+}
+
+WeakRowIndex::WeakRowIndex(const FaultModel &model, unsigned bank_count,
+                           uint64_t rows_per_bank)
+    : banks(bank_count), rowsPerBankCount(rows_per_bank)
+{
+    HH_ASSERT(bank_count > 0 && rows_per_bank > 0);
+    bits.assign((bank_count * rows_per_bank + 63) / 64, 0);
+    for (unsigned bank = 0; bank < bank_count; ++bank) {
+        for (uint64_t row = 0; row < rows_per_bank; ++row) {
+            if (!model.rowIsWeak(static_cast<BankId>(bank), row))
+                continue;
+            const uint64_t idx = bank * rows_per_bank + row;
+            bits[idx >> 6] |= 1ull << (idx & 63);
+        }
+    }
+}
+
+uint64_t
+WeakRowIndex::weakRowCount() const
+{
+    uint64_t count = 0;
+    for (uint64_t word : bits)
+        count += static_cast<uint64_t>(std::popcount(word));
+    return count;
 }
 
 } // namespace hh::dram

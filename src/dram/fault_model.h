@@ -105,6 +105,15 @@ class FaultModel
     /** Weak cells of one (bank, row); typically empty. */
     std::vector<WeakCell> weakCellsInRow(BankId bank, RowId row) const;
 
+    /**
+     * Arena variant: append the weak cells of one (bank, row) to
+     * @p out without clearing it. The hot hammer loop reuses one
+     * scratch vector across every victim row instead of allocating a
+     * fresh vector per query.
+     */
+    void weakCellsInRow(BankId bank, RowId row,
+                        std::vector<WeakCell> &out) const;
+
     /** True when (bank, row) hosts at least one weak cell. */
     bool rowIsWeak(BankId bank, RowId row) const;
 
@@ -118,6 +127,43 @@ class FaultModel
     FaultModelConfig cfg;
     uint64_t seed;
     uint64_t rowBytes;
+};
+
+/**
+ * Precomputed weak-row predicate, one bit per (bank, row).
+ *
+ * The hammer loop asks "is this row weak?" for every victim candidate;
+ * hashing per query is pure but not free, and the answer never changes
+ * for a given fault seed. The index evaluates the oracle once per row
+ * at construction and packs the answers into a flat bitset (32 banks x
+ * 64 K rows = 256 KB), which forked DramSystems share immutably --
+ * compact arena storage instead of per-cell maps, and zero per-fork
+ * cost.
+ */
+class WeakRowIndex
+{
+  public:
+    WeakRowIndex(const FaultModel &model, unsigned bank_count,
+                 uint64_t rows_per_bank);
+
+    /** Bit probe equivalent of FaultModel::rowIsWeak. */
+    bool
+    isWeak(BankId bank, RowId row) const
+    {
+        const uint64_t idx = bank * rowsPerBankCount + row;
+        return (bits[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Total weak rows across all banks (diagnostics/tests). */
+    uint64_t weakRowCount() const;
+
+    uint64_t rowsPerBank() const { return rowsPerBankCount; }
+    unsigned bankCount() const { return banks; }
+
+  private:
+    unsigned banks;
+    uint64_t rowsPerBankCount;
+    std::vector<uint64_t> bits;
 };
 
 } // namespace hh::dram

@@ -37,23 +37,50 @@ MemoryBackend::PageData::find(uint16_t idx) const
     return overrides.end();
 }
 
+const MemoryBackend::PageData *
+MemoryBackend::lookup(Pfn pfn) const
+{
+    if (const auto it = pages.find(pfn); it != pages.end())
+        return it->second.erased ? nullptr : &it->second;
+    if (shared) {
+        if (const auto it = shared->find(pfn); it != shared->end())
+            return &it->second;
+    }
+    return nullptr;
+}
+
+MemoryBackend::PageData &
+MemoryBackend::mutablePage(Pfn pfn)
+{
+    if (const auto it = pages.find(pfn); it != pages.end()) {
+        if (it->second.erased)
+            it->second = PageData{};
+        return it->second;
+    }
+    PageData &page = pages[pfn];
+    if (shared) {
+        if (const auto it = shared->find(pfn); it != shared->end())
+            page = it->second; // unshare: copy this one page up
+    }
+    return page;
+}
+
 uint64_t
 MemoryBackend::read64(HostPhysAddr addr) const
 {
     HH_ASSERT(contains(addr));
-    const auto it = pages.find(addr.pfn());
-    if (it == pages.end())
+    const PageData *page = lookup(addr.pfn());
+    if (page == nullptr)
         return 0;
-    const PageData &page = it->second;
-    const auto ov = page.find(wordIndex(addr));
-    return ov != page.overrides.end() ? ov->second : page.fill;
+    const auto ov = page->find(wordIndex(addr));
+    return ov != page->overrides.end() ? ov->second : page->fill;
 }
 
 void
 MemoryBackend::write64(HostPhysAddr addr, uint64_t value)
 {
     HH_ASSERT(contains(addr));
-    PageData &page = pages[addr.pfn()];
+    PageData &page = mutablePage(addr.pfn());
     const uint16_t idx = wordIndex(addr);
     auto it = std::lower_bound(page.overrides.begin(),
                                page.overrides.end(), idx, IdxLess{});
@@ -70,16 +97,31 @@ MemoryBackend::write64(HostPhysAddr addr, uint64_t value)
 }
 
 void
+MemoryBackend::clearPage(Pfn pfn)
+{
+    if (shared && shared->count(pfn) != 0) {
+        // The template still carries this page; shadow it with a
+        // tombstone so the shared data stays untouched.
+        PageData &page = pages[pfn];
+        page = PageData{};
+        page.erased = true;
+        return;
+    }
+    pages.erase(pfn);
+}
+
+void
 MemoryBackend::fillPage(Pfn pfn, uint64_t pattern)
 {
     HH_ASSERT(pfn * kPageSize < totalBytes);
     if (pattern == 0) {
         // Identical to untouched memory; reclaim the metadata.
-        pages.erase(pfn);
+        clearPage(pfn);
         return;
     }
     PageData &page = pages[pfn];
     page.fill = pattern;
+    page.erased = false;
     page.overrides.clear();
     page.overrides.shrink_to_fit();
 }
@@ -97,8 +139,8 @@ std::vector<uint16_t>
 MemoryBackend::mismatchedWords(Pfn pfn, uint64_t expected_fill) const
 {
     std::vector<uint16_t> mismatches;
-    const auto it = pages.find(pfn);
-    if (it == pages.end()) {
+    const PageData *it = lookup(pfn);
+    if (it == nullptr) {
         // Untouched memory reads as zero everywhere.
         if (expected_fill != 0) {
             mismatches.resize(kPageSize / 8);
@@ -107,7 +149,7 @@ MemoryBackend::mismatchedWords(Pfn pfn, uint64_t expected_fill) const
         }
         return mismatches;
     }
-    const PageData &page = it->second;
+    const PageData &page = *it;
     if (page.fill == expected_fill) {
         // Only overridden words can mismatch.
         for (const auto &[idx, value] : page.overrides) {
@@ -131,15 +173,61 @@ MemoryBackend::mismatchedWords(Pfn pfn, uint64_t expected_fill) const
 }
 
 void
+MemoryBackend::freeze()
+{
+    PageMap merged;
+    if (shared)
+        merged = *shared;
+    for (auto &[pfn, page] : pages) {
+        if (page.erased)
+            merged.erase(pfn);
+        else
+            merged[pfn] = std::move(page);
+    }
+    shared = std::make_shared<const PageMap>(std::move(merged));
+    pages.clear();
+}
+
+MemoryBackend
+MemoryBackend::fork() const
+{
+    MemoryBackend forked(totalBytes);
+    forked.shared = shared;
+    forked.pages = pages;
+    return forked;
+}
+
+std::vector<Pfn>
+MemoryBackend::mergedPfns() const
+{
+    std::vector<Pfn> pfns;
+    pfns.reserve(pages.size() + (shared ? shared->size() : 0));
+    for (const auto &[pfn, page] : pages) {
+        if (!page.erased)
+            pfns.push_back(pfn);
+    }
+    if (shared) {
+        for (const auto &[pfn, page] : *shared) {
+            if (pages.count(pfn) == 0)
+                pfns.push_back(pfn);
+        }
+    }
+    std::sort(pfns.begin(), pfns.end());
+    return pfns;
+}
+
+void
 MemoryBackend::saveState(base::ArchiveWriter &w) const
 {
-    w.u64(pages.size());
-    for (Pfn pfn : base::sortedKeys(pages)) {
-        const PageData &page = pages.at(pfn);
+    const std::vector<Pfn> pfns = mergedPfns();
+    w.u64(pfns.size());
+    for (Pfn pfn : pfns) {
+        const PageData *page = lookup(pfn);
+        HH_ASSERT(page != nullptr);
         w.u64(pfn);
-        w.u64(page.fill);
-        w.u64(page.overrides.size());
-        for (const auto &[idx, value] : page.overrides) {
+        w.u64(page->fill);
+        w.u64(page->overrides.size());
+        for (const auto &[idx, value] : page->overrides) {
             w.u16(idx);
             w.u64(value);
         }
@@ -149,7 +237,7 @@ MemoryBackend::saveState(base::ArchiveWriter &w) const
 base::Status
 MemoryBackend::loadState(base::ArchiveReader &r)
 {
-    std::unordered_map<Pfn, PageData> loaded;
+    PageMap loaded;
     const uint64_t page_count = r.count(16);
     loaded.reserve(page_count);
     for (uint64_t i = 0; i < page_count && r.ok(); ++i) {
@@ -178,7 +266,10 @@ MemoryBackend::loadState(base::ArchiveReader &r)
     }
     if (!r.ok())
         return r.status();
+    // The loaded stream is the complete logical state: it replaces the
+    // overlay and detaches from any shared template.
     pages = std::move(loaded);
+    shared.reset();
     return base::Status::success();
 }
 

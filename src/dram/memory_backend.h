@@ -1,6 +1,6 @@
 /**
  * @file
- * Sparse physical-memory data store.
+ * Sparse physical-memory data store with copy-on-write forking.
  *
  * Simulating multi-gigabyte hosts must not cost multi-gigabyte buffers.
  * The attack only cares about a few content classes: whole pages filled
@@ -9,12 +9,23 @@
  * touched page as a uniform 64-bit fill value plus a sparse word-override
  * map, which makes "fill 12 GB with 0xff" an O(pages) metadata operation
  * and keeps page-table pages exact.
+ *
+ * Forking (the Monte-Carlo trial engine's clone path) is page-granular
+ * copy-on-write: freeze() publishes the current contents as an immutable
+ * shared template, and fork() produces a backend that references the
+ * template and keeps its own private overlay. Reads fall through
+ * overlay -> template -> zero; the first write to a template page copies
+ * that one page into the overlay (write-time unsharing). Clearing a
+ * template page records a tombstone in the overlay, so no fork can ever
+ * mutate the shared template -- and forking costs O(overlay pages), not
+ * O(memory).
  */
 
 #ifndef HYPERHAMMER_DRAM_MEMORY_BACKEND_H
 #define HYPERHAMMER_DRAM_MEMORY_BACKEND_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,6 +44,12 @@ class MemoryBackend
   public:
     explicit MemoryBackend(uint64_t total_bytes) : totalBytes(total_bytes)
     {}
+
+    /** Deep copies are banned: clone worlds via freeze() + fork(). */
+    MemoryBackend(const MemoryBackend &) = delete;
+    MemoryBackend &operator=(const MemoryBackend &) = delete;
+    MemoryBackend(MemoryBackend &&) = default;
+    MemoryBackend &operator=(MemoryBackend &&) = default;
 
     /** Size of the backed physical address space. */
     uint64_t size() const { return totalBytes; }
@@ -66,18 +83,53 @@ class MemoryBackend
                                           uint64_t expected_fill) const;
 
     /**
-     * Number of frames carrying any data (fill or overrides); used by
-     * capacity tests.
+     * Number of *overlay* frames carrying private data (fill,
+     * overrides, or a tombstone over a template page). Frames served
+     * unmodified from the shared template are not counted: the value
+     * measures what this fork privately owns, which is both the
+     * capacity-test metric and the clone cost of fork().
      */
     size_t touchedPages() const { return pages.size(); }
 
-    /** Drop all contents (reads revert to zero). */
-    void clear() { pages.clear(); }
+    /** Frames in the shared template (0 when never frozen). */
+    size_t templatePages() const { return shared ? shared->size() : 0; }
 
-    /** Drop the contents of one frame (reads revert to zero). */
-    void clearPage(Pfn pfn) { pages.erase(pfn); }
+    /** Drop all contents, template reference included. */
+    void
+    clear()
+    {
+        pages.clear();
+        shared.reset();
+    }
 
-    /** Serialize all touched pages (in sorted-Pfn order). */
+    /**
+     * Drop the contents of one frame (reads revert to zero). On a
+     * forked backend this shadows the template page with a tombstone;
+     * the template itself is never modified.
+     */
+    void clearPage(Pfn pfn);
+
+    /**
+     * Publish the current contents (template plus overlay, merged) as
+     * a new immutable shared template and empty the overlay. After
+     * freezing, fork() is O(1) and every mutation unshares at page
+     * granularity. Costs O(touched pages); idempotent.
+     */
+    void freeze();
+
+    /**
+     * A copy-on-write clone: shares this backend's template (if any)
+     * and duplicates only the private overlay. Call freeze() first to
+     * make the overlay empty and the fork O(1).
+     */
+    MemoryBackend fork() const;
+
+    /**
+     * Serialize all pages carrying data (in sorted-Pfn order). The
+     * merged template/overlay view is traversed in place -- forked
+     * state is never materialized -- and the byte stream is identical
+     * to what a flat backend of the same logical contents writes.
+     */
     void saveState(base::ArchiveWriter &w) const;
 
     /** Replace contents with a stream written by saveState(). */
@@ -95,14 +147,41 @@ class MemoryBackend
          * at ~tens of bytes per page.
          */
         std::vector<std::pair<uint16_t, uint64_t>> overrides;
+        /**
+         * Overlay-only tombstone: this fork cleared a page the shared
+         * template still carries. Reads see zero; saveState() skips
+         * the page entirely (matching a flat backend's erase).
+         */
+        bool erased = false;
 
         /** Iterator to the override for @p idx, or end(). */
         std::vector<std::pair<uint16_t, uint64_t>>::const_iterator
         find(uint16_t idx) const;
     };
 
+    using PageMap = std::unordered_map<Pfn, PageData>;
+
+    /**
+     * Effective page for reads: overlay wins (tombstones read as
+     * absent), then the template, then nullptr (= all-zero).
+     */
+    const PageData *lookup(Pfn pfn) const;
+
+    /**
+     * Overlay entry for writes, copying the template page up on first
+     * touch (write-time unsharing) and reviving tombstones as empty
+     * pages.
+     */
+    PageData &mutablePage(Pfn pfn);
+
+    /** Sorted PFNs of the merged view, tombstoned pages excluded. */
+    std::vector<Pfn> mergedPfns() const;
+
     uint64_t totalBytes;
-    std::unordered_map<Pfn, PageData> pages;
+    /** Private overlay: every page this instance has touched. */
+    PageMap pages;
+    /** Immutable shared template (null until the first freeze()). */
+    std::shared_ptr<const PageMap> shared;
 };
 
 } // namespace hh::dram

@@ -68,8 +68,9 @@ BuddyAllocator::BuddyAllocator(BuddyConfig config)
             --order;
         }
         for (uint64_t i = 0; i < (1ull << order); ++i) {
-            frames[pfn + i].free = true;
-            frames[pfn + i].migrateType = MigrateType::Movable;
+            PageFrame &frame = frames.mut(pfn + i);
+            frame.free = true;
+            frame.migrateType = MigrateType::Movable;
         }
         listPush(MigrateType::Movable, order, pfn);
         freeCount += 1ull << order;
@@ -77,6 +78,11 @@ BuddyAllocator::BuddyAllocator(BuddyConfig config)
         (void)top_pages;
     }
 }
+
+BuddyAllocator::BuddyAllocator(ForkTag, const BuddyAllocator &src)
+    : frames(src.frames.fork()), lists(src.lists),
+      freeCount(src.freeCount), pcpCfg(src.pcpCfg), pcp(src.pcp)
+{}
 
 const PageFrame &
 BuddyAllocator::frame(Pfn pfn) const
@@ -89,13 +95,13 @@ void
 BuddyAllocator::listPush(MigrateType mt, unsigned order, Pfn pfn)
 {
     FreeList &list = lists[static_cast<unsigned>(mt)][order];
-    PageFrame &frame = frames[pfn];
+    PageFrame &frame = frames.mut(pfn);
     frame.freeHead = true;
     frame.order = static_cast<uint8_t>(order);
     frame.prevFree = kInvalidPfn;
     frame.nextFree = list.head;
     if (list.head != kInvalidPfn)
-        frames[list.head].prevFree = pfn;
+        frames.mut(list.head).prevFree = pfn;
     list.head = pfn;
     ++list.count;
 }
@@ -104,14 +110,16 @@ void
 BuddyAllocator::listRemove(MigrateType mt, unsigned order, Pfn pfn)
 {
     FreeList &list = lists[static_cast<unsigned>(mt)][order];
-    PageFrame &frame = frames[pfn];
+    // mut(pfn) unshares pfn's chunk first, so the later muts (which can
+    // only copy *other* chunks) never invalidate this reference.
+    PageFrame &frame = frames.mut(pfn);
     HH_ASSERT(frame.freeHead && frame.order == order);
     if (frame.prevFree != kInvalidPfn)
-        frames[frame.prevFree].nextFree = frame.nextFree;
+        frames.mut(frame.prevFree).nextFree = frame.nextFree;
     else
         list.head = frame.nextFree;
     if (frame.nextFree != kInvalidPfn)
-        frames[frame.nextFree].prevFree = frame.prevFree;
+        frames.mut(frame.nextFree).prevFree = frame.prevFree;
     frame.freeHead = false;
     frame.prevFree = frame.nextFree = kInvalidPfn;
     HH_ASSERT(list.count > 0);
@@ -133,7 +141,7 @@ BuddyAllocator::markAllocated(Pfn pfn, unsigned order, MigrateType mt,
                               PageUse use, uint16_t owner)
 {
     for (uint64_t i = 0; i < (1ull << order); ++i) {
-        PageFrame &frame = frames[pfn + i];
+        PageFrame &frame = frames.mut(pfn + i);
         frame.free = false;
         frame.freeHead = false;
         frame.migrateType = mt;
@@ -157,7 +165,7 @@ BuddyAllocator::allocCore(unsigned order, MigrateType mt)
             --o;
             const Pfn buddy = pfn + (1ull << o);
             for (uint64_t i = 0; i < (1ull << o); ++i)
-                frames[buddy + i].migrateType = mt;
+                frames.mut(buddy + i).migrateType = mt;
             listPush(mt, o, buddy);
             freeCount += 1ull << o;
         }
@@ -188,7 +196,7 @@ BuddyAllocator::stealFallback(unsigned order, MigrateType mt)
             freeCount -= 1ull << o;
             // Convert the whole block to the desired type.
             for (uint64_t i = 0; i < (1ull << o); ++i)
-                frames[pfn + i].migrateType = mt;
+                frames.mut(pfn + i).migrateType = mt;
             unsigned cur = static_cast<unsigned>(o);
             while (cur > order) {
                 --cur;
@@ -226,10 +234,11 @@ BuddyAllocator::allocPages(unsigned order, MigrateType mt, PageUse use,
                     break;
                 // PCP pages are off the buddy lists but not yet handed
                 // out; they are not "free" in the buddy sense.
-                frames[*page].free = false;
-                frames[*page].freeHead = false;
-                frames[*page].use = PageUse::Free;
-                frames[*page].migrateType = mt;
+                PageFrame &frame = frames.mut(*page);
+                frame.free = false;
+                frame.freeHead = false;
+                frame.use = PageUse::Free;
+                frame.migrateType = mt;
                 cache.push_back(*page);
             }
         }
@@ -289,7 +298,7 @@ BuddyAllocator::freeCore(Pfn pfn, unsigned order, MigrateType mt)
 {
     HH_ASSERT(pfn + (1ull << order) <= frames.size());
     for (uint64_t i = 0; i < (1ull << order); ++i) {
-        PageFrame &frame = frames[pfn + i];
+        PageFrame &frame = frames.mut(pfn + i);
         HH_ASSERT(!frame.free);
         HH_ASSERT(!frame.pinned);
         frame.free = true;
@@ -315,7 +324,7 @@ BuddyAllocator::freeCore(Pfn pfn, unsigned order, MigrateType mt)
         pfn = std::min(pfn, buddy);
         ++order;
         for (uint64_t i = 0; i < (1ull << order); ++i)
-            frames[pfn + i].migrateType = mt;
+            frames.mut(pfn + i).migrateType = mt;
     }
     listPush(mt, order, pfn);
 }
@@ -333,7 +342,7 @@ BuddyAllocator::freePagesAs(Pfn pfn, unsigned order, MigrateType mt)
     HH_ASSERT(!frames[pfn].pinned);
     if (order == 0 && pcpCfg.highWatermark > 0) {
         // Order-0 frees park in the PCP and drain in batches.
-        PageFrame &frame = frames[pfn];
+        PageFrame &frame = frames.mut(pfn);
         HH_ASSERT(!frame.free);
         frame.use = PageUse::Free;
         frame.owner = 0;
@@ -357,7 +366,7 @@ BuddyAllocator::setPinned(Pfn pfn, bool pinned)
 {
     HH_ASSERT(pfn < frames.size());
     HH_ASSERT(!frames[pfn].free);
-    frames[pfn].pinned = pinned;
+    frames.mut(pfn).pinned = pinned;
 }
 
 void
@@ -365,8 +374,9 @@ BuddyAllocator::setUse(Pfn pfn, PageUse use, uint16_t owner)
 {
     HH_ASSERT(pfn < frames.size());
     HH_ASSERT(!frames[pfn].free);
-    frames[pfn].use = use;
-    frames[pfn].owner = owner;
+    PageFrame &frame = frames.mut(pfn);
+    frame.use = use;
+    frame.owner = owner;
 }
 
 void
@@ -374,7 +384,7 @@ BuddyAllocator::setMigrateType(Pfn pfn, MigrateType mt)
 {
     HH_ASSERT(pfn < frames.size());
     HH_ASSERT(!frames[pfn].free);
-    frames[pfn].migrateType = mt;
+    frames.mut(pfn).migrateType = mt;
 }
 
 bool
@@ -423,7 +433,8 @@ void
 BuddyAllocator::saveState(base::ArchiveWriter &w) const
 {
     w.u64(frames.size());
-    for (const PageFrame &frame : frames) {
+    for (Pfn pfn = 0; pfn < frames.size(); ++pfn) {
+        const PageFrame &frame = frames[pfn];
         w.u64(frame.nextFree);
         w.u64(frame.prevFree);
         w.u8(frame.order);
@@ -540,7 +551,7 @@ BuddyAllocator::loadState(base::ArchiveReader &r)
         }
     }
 
-    frames = std::move(new_frames);
+    frames = FrameStore(new_frames);
     lists = new_lists;
     freeCount = new_free_count;
     pcp = std::move(new_pcp);
@@ -583,8 +594,8 @@ BuddyAllocator::checkConsistency() const
 
     // 2. Every frame marked free belongs to exactly one listed block.
     uint64_t free_frames = 0;
-    for (const PageFrame &frame : frames)
-        free_frames += frame.free ? 1 : 0;
+    for (Pfn pfn = 0; pfn < frames.size(); ++pfn)
+        free_frames += frames[pfn].free ? 1 : 0;
     HH_ASSERT(free_frames == freeCount);
 }
 

@@ -21,12 +21,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/archive.h"
 #include "base/status.h"
 #include "base/types.h"
 #include "fault/fault.h"
+#include "mm/frame_store.h"
 #include "mm/page.h"
 
 namespace hh::mm {
@@ -82,8 +84,36 @@ struct BuddyConfig
  */
 class BuddyAllocator
 {
+  private:
+    /** Restricts the fork constructor to forkFrom(). */
+    struct ForkTag
+    {};
+
   public:
     explicit BuddyAllocator(BuddyConfig config);
+
+    /**
+     * Copy-on-write fork constructor (reachable only through
+     * forkFrom(): ForkTag is private). Shares the frame database
+     * chunk-wise and copies the free lists and PCP stacks. The fork
+     * starts with no fault injector installed.
+     */
+    BuddyAllocator(ForkTag, const BuddyAllocator &src);
+
+    /** Deep copies are banned: clone via forkFrom(). */
+    BuddyAllocator(const BuddyAllocator &) = delete;
+    BuddyAllocator &operator=(const BuddyAllocator &) = delete;
+
+    /**
+     * A copy-on-write clone of @p src: O(chunk pointers), with every
+     * subsequent frame mutation unsharing one chunk. The source must
+     * not be mutated while forks are being taken.
+     */
+    static std::unique_ptr<BuddyAllocator>
+    forkFrom(const BuddyAllocator &src)
+    {
+        return std::make_unique<BuddyAllocator>(ForkTag{}, src);
+    }
 
     /** Number of managed frames. */
     uint64_t totalPages() const { return frames.size(); }
@@ -181,7 +211,7 @@ class BuddyAllocator
         uint64_t count = 0;
     };
 
-    std::vector<PageFrame> frames;
+    FrameStore frames;
     /** lists[mt][order] */
     std::array<std::array<FreeList, kMaxOrder>, kMigrateTypes> lists{};
     uint64_t freeCount = 0;

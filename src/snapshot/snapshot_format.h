@@ -35,8 +35,13 @@ constexpr uint64_t kCheckpointMagic = 0x4848434b50540a01ull;
  * Format version of every serialized payload. One shared version: a
  * change in any subsystem's encoding invalidates all snapshot kinds,
  * which is exactly the safe behaviour for crash-resume state.
+ *
+ * v2: the CoW world-forking refactor. The byte stream each
+ * saveState() emits is unchanged (the CoW backends serialize their
+ * merged logical view), but the producers were rewritten wholesale,
+ * so pre-refactor snapshots are retired rather than trusted.
  */
-constexpr uint32_t kSnapshotFormatVersion = 1;
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 } // namespace hh::snapshot
 

@@ -115,6 +115,86 @@ HostSystem::HostSystem(SystemConfig config)
 
 HostSystem::~HostSystem() = default;
 
+HostSystem::HostSystem(TemplateTag, SystemConfig config)
+    : cfg(std::move(config)), rng(base::mix64(cfg.seed, 0x4057))
+{
+    // No injector and no boot: the template holds only the state that
+    // is invariant across trial seeds. (The host rng member is seeded
+    // but never drawn from; forks replace it anyway.)
+    dramSys = std::make_unique<dram::DramSystem>(cfg.dram, simClock);
+    mm::BuddyConfig buddy_cfg;
+    buddy_cfg.totalPages = cfg.dram.totalBytes / kPageSize;
+    allocator = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
+    dramSys->backend().freeze();
+    pristineTemplate = true;
+}
+
+HostSystem::HostSystem(CloneTag, const HostSystem &src)
+    : cfg(src.cfg),
+      rng(src.rng),
+      nextVmId(src.nextVmId),
+      pristineTemplate(src.pristineTemplate),
+      residentKernelPages(src.residentKernelPages),
+      pageCachePages(src.pageCachePages)
+{
+    simClock.advance(src.simClock.now());
+    if (src.injector) {
+        // Rebuild from the plan, then adopt the source's cursors so
+        // the clone's fault stream continues where the original's is.
+        injector = std::make_unique<fault::FaultInjector>(
+            cfg.faults, base::mix64(cfg.seed, cfg.faults.seed));
+        base::ArchiveWriter w;
+        src.injector->saveState(w);
+        base::ArchiveReader r(w.buffer());
+        const base::Status st = injector->loadState(r);
+        HH_ASSERT(st.ok());
+    }
+    dramSys = dram::DramSystem::forkFrom(*src.dramSys, simClock);
+    dramSys->setFaultInjector(injector.get());
+    allocator = mm::BuddyAllocator::forkFrom(*src.allocator);
+    allocator->setFaultInjector(injector.get());
+}
+
+HostSystem::HostSystem(TrialTag, const HostSystem &tmpl,
+                       const SystemConfig &trial_cfg)
+    : cfg(trial_cfg), rng(base::mix64(cfg.seed, 0x4057))
+{
+    HH_ASSERT(tmpl.pristineTemplate);
+    // Cheap proxies for "same config up to the seed": the trial must
+    // share the template's memory geometry and dram seed, or the
+    // forked fault oracle would be the wrong one.
+    HH_ASSERT(tmpl.cfg.dram.totalBytes == cfg.dram.totalBytes);
+    HH_ASSERT(tmpl.cfg.dram.seed == cfg.dram.seed);
+    if (!cfg.faults.empty())
+        injector = std::make_unique<fault::FaultInjector>(
+            cfg.faults, base::mix64(cfg.seed, cfg.faults.seed));
+    dramSys = dram::DramSystem::forkFrom(*tmpl.dramSys, simClock);
+    dramSys->setFaultInjector(injector.get());
+    allocator = mm::BuddyAllocator::forkFrom(*tmpl.allocator);
+    allocator->setFaultInjector(injector.get());
+    bootHost();
+}
+
+std::unique_ptr<const HostSystem>
+HostSystem::makeForkTemplate(SystemConfig config)
+{
+    return std::make_unique<HostSystem>(TemplateTag{},
+                                        std::move(config));
+}
+
+std::unique_ptr<HostSystem>
+HostSystem::forkTrial(const HostSystem &tmpl,
+                      const SystemConfig &trial_cfg)
+{
+    return std::make_unique<HostSystem>(TrialTag{}, tmpl, trial_cfg);
+}
+
+std::unique_ptr<HostSystem>
+HostSystem::fork() const
+{
+    return std::make_unique<HostSystem>(CloneTag{}, *this);
+}
+
 void
 HostSystem::bootHost()
 {

@@ -86,12 +86,80 @@ struct SystemConfig
  */
 class HostSystem
 {
+  private:
+    /** Restrict the template/clone/trial ctors to the static makers. */
+    struct TemplateTag
+    {};
+    struct CloneTag
+    {};
+    struct TrialTag
+    {};
+
   public:
     explicit HostSystem(SystemConfig config);
     ~HostSystem();
 
+    /** Deep copies are banned: clone via fork() / forkTrial(). */
     HostSystem(const HostSystem &) = delete;
     HostSystem &operator=(const HostSystem &) = delete;
+
+    /** @name Copy-on-write world forking */
+    /// @{
+
+    /**
+     * Build a *pristine* trial template: constructed exactly like
+     * HostSystem(config) but stopping before bootHost(), with the
+     * memory backend frozen. The template captures every piece of
+     * world state that is invariant across trial seeds -- the DRAM
+     * geometry, the seed-derived fault oracle and weak-row index, the
+     * frame database and initial free lists -- and shares them with
+     * each fork. Trial-varying state (host rng, fault-injector
+     * cursors, the boot footprint) is recreated per forkTrial() from
+     * the trial's own seed, which is what makes a forked trial
+     * bitwise-identical to a freshly constructed HostSystem.
+     *
+     * The returned host is const: a template must never be mutated
+     * while forks are being taken from it.
+     */
+    static std::unique_ptr<const HostSystem>
+    makeForkTemplate(SystemConfig config);
+
+    /**
+     * Fork a trial world from a pristine template and boot it with
+     * @p trial_cfg's seed. @p trial_cfg must be the template's config
+     * with only the seed changed (asserted on the cheap proxies).
+     * Produces bit-for-bit the state of HostSystem(trial_cfg) at
+     * O(pages the boot touches) instead of a full world rebuild.
+     * Safe to call concurrently on one template.
+     */
+    static std::unique_ptr<HostSystem>
+    forkTrial(const HostSystem &tmpl, const SystemConfig &trial_cfg);
+
+    /**
+     * Copy-on-write clone of this (booted) host: same config, same
+     * seed, same state -- the forked world diverges from the original
+     * only through its own subsequent writes. Costs O(overlay pages);
+     * call freezeMemory() first to make the memory share O(1). VMs
+     * are owned by callers and do not travel with the fork.
+     */
+    std::unique_ptr<HostSystem> fork() const;
+
+    /**
+     * Publish the memory backend's current contents as the shared
+     * immutable template so subsequent fork()s share rather than copy
+     * them. Idempotent; O(touched pages).
+     */
+    void freezeMemory() { dramSys->backend().freeze(); }
+
+    /** True for hosts built by makeForkTemplate() (never booted). */
+    bool isPristineTemplate() const { return pristineTemplate; }
+
+    /** Tag ctors backing the static makers; tags are private. */
+    HostSystem(TemplateTag, SystemConfig config);
+    HostSystem(CloneTag, const HostSystem &src);
+    HostSystem(TrialTag, const HostSystem &tmpl,
+               const SystemConfig &trial_cfg);
+    /// @}
 
     const SystemConfig &config() const { return cfg; }
     base::SimClock &clock() { return simClock; }
@@ -187,6 +255,7 @@ class HostSystem
     std::unique_ptr<mm::BuddyAllocator> allocator;
     base::Rng rng;
     uint16_t nextVmId = 1;
+    bool pristineTemplate = false;
 
     /** Resident kernel/service pages; churn cycles through these. */
     std::vector<Pfn> residentKernelPages;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "dram/memory_backend.h"
 
 namespace hh::dram {
@@ -148,6 +150,143 @@ TEST(MemoryBackend, ManyOverridesStaySorted)
         EXPECT_EQ(mem.read64(HostPhysAddr(static_cast<uint64_t>(w) * 8)),
                   static_cast<uint64_t>(w) + 1);
     EXPECT_EQ(mem.mismatchedWords(0, 0).size(), 512u);
+}
+
+std::vector<uint8_t>
+stateBytes(const MemoryBackend &mem)
+{
+    base::ArchiveWriter w;
+    mem.saveState(w);
+    return w.buffer();
+}
+
+TEST(MemoryBackendCow, FreezePublishesTemplate)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0x11);
+    mem.fillPage(5, 0x55);
+    mem.write64(HostPhysAddr(5 * kPageSize + 8), 0x99);
+    EXPECT_EQ(mem.touchedPages(), 2u);
+    mem.freeze();
+    // Contents unchanged, but now served from the shared template.
+    EXPECT_EQ(mem.touchedPages(), 0u);
+    EXPECT_EQ(mem.templatePages(), 2u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(0)), 0x11u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(5 * kPageSize + 8)), 0x99u);
+    mem.freeze(); // idempotent
+    EXPECT_EQ(mem.templatePages(), 2u);
+}
+
+TEST(MemoryBackendCow, ForkIsCheapAndEqual)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(1, 0xab);
+    mem.write64(HostPhysAddr(kPageSize + 64), 7);
+    mem.freeze();
+    const MemoryBackend forked = mem.fork();
+    EXPECT_EQ(forked.touchedPages(), 0u); // O(1): overlay empty
+    EXPECT_EQ(forked.templatePages(), 1u);
+    EXPECT_EQ(stateBytes(forked), stateBytes(mem));
+}
+
+TEST(MemoryBackendCow, WriteUnsharesOnePage)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0x11);
+    mem.fillPage(1, 0x22);
+    mem.freeze();
+    MemoryBackend forked = mem.fork();
+    forked.write64(HostPhysAddr(8), 0xff);
+    // The fork copied up exactly the written page...
+    EXPECT_EQ(forked.touchedPages(), 1u);
+    EXPECT_EQ(forked.read64(HostPhysAddr(8)), 0xffu);
+    EXPECT_EQ(forked.read64(HostPhysAddr(0)), 0x11u);
+    // ...and the template (and its other reader) never saw the write.
+    EXPECT_EQ(mem.read64(HostPhysAddr(8)), 0x11u);
+    EXPECT_EQ(mem.touchedPages(), 0u);
+}
+
+TEST(MemoryBackendCow, ClearPageTombstonesTemplatePage)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(3, 0x77);
+    mem.freeze();
+    MemoryBackend forked = mem.fork();
+    forked.clearPage(3);
+    // Reads revert to zero; the tombstone is private overlay state.
+    EXPECT_EQ(forked.read64(HostPhysAddr(3 * kPageSize)), 0u);
+    EXPECT_EQ(forked.touchedPages(), 1u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(3 * kPageSize)), 0x77u);
+    // saveState() skips the tombstoned page, exactly like a flat
+    // backend that erased it.
+    const MemoryBackend empty(1_MiB);
+    EXPECT_EQ(stateBytes(forked), stateBytes(empty));
+    // Re-filling revives the page without disturbing the template.
+    forked.fillPage(3, 0x88);
+    EXPECT_EQ(forked.read64(HostPhysAddr(3 * kPageSize)), 0x88u);
+    EXPECT_EQ(mem.read64(HostPhysAddr(3 * kPageSize)), 0x77u);
+}
+
+TEST(MemoryBackendCow, ClearPageOnOverlayReclaimsMetadata)
+{
+    MemoryBackend mem(1_MiB);
+    mem.freeze(); // empty template: clears must not tombstone
+    MemoryBackend forked = mem.fork();
+    forked.fillPage(2, 0x42);
+    EXPECT_EQ(forked.touchedPages(), 1u);
+    forked.clearPage(2);
+    EXPECT_EQ(forked.touchedPages(), 0u);
+}
+
+TEST(MemoryBackendCow, SaveStateMatchesFlatBackend)
+{
+    // The same logical writes through a fork chain and through a flat
+    // backend must serialize to identical bytes.
+    MemoryBackend flat(1_MiB);
+    MemoryBackend chain(1_MiB);
+    chain.fillPage(0, 0x11);
+    chain.freeze();
+    MemoryBackend forked = chain.fork();
+    for (MemoryBackend *mem : {&flat, &forked}) {
+        if (mem == &flat)
+            mem->fillPage(0, 0x11);
+        mem->write64(HostPhysAddr(16), 0xaa);
+        mem->fillPage(9, 0x99);
+        mem->clearPage(9);
+        mem->fillPage(4, 0x44);
+    }
+    EXPECT_EQ(stateBytes(forked), stateBytes(flat));
+}
+
+TEST(MemoryBackendCow, ConcurrentForksAreIndependent)
+{
+    MemoryBackend mem(1_MiB);
+    mem.fillPage(0, 0x5a);
+    mem.freeze();
+    // Many forks mutate the SAME template page concurrently; each must
+    // see only its own write (write-time unsharing is per fork).
+    constexpr int kForks = 8;
+    std::vector<MemoryBackend> forks;
+    forks.reserve(kForks);
+    for (int i = 0; i < kForks; ++i)
+        forks.push_back(mem.fork());
+    std::vector<std::thread> threads;
+    threads.reserve(kForks);
+    for (int i = 0; i < kForks; ++i) {
+        threads.emplace_back([&forks, i] {
+            forks[static_cast<size_t>(i)].write64(
+                HostPhysAddr(8), static_cast<uint64_t>(i) + 1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int i = 0; i < kForks; ++i) {
+        EXPECT_EQ(forks[static_cast<size_t>(i)].read64(HostPhysAddr(8)),
+                  static_cast<uint64_t>(i) + 1);
+        EXPECT_EQ(forks[static_cast<size_t>(i)].read64(HostPhysAddr(0)),
+                  0x5au);
+    }
+    EXPECT_EQ(mem.read64(HostPhysAddr(8)), 0x5au);
 }
 
 } // namespace

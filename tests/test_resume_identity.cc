@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "snapshot/resume_identity.h"
 #include "sys/host_system.h"
@@ -49,6 +51,56 @@ attackConfig()
     cfg.maxAttempts = 4;
     cfg.steering.exhaustMappings = 2'500;
     return cfg;
+}
+
+std::vector<uint8_t>
+worldBytes(const sys::HostSystem &host)
+{
+    base::ArchiveWriter w;
+    host.saveState(w);
+    return w.buffer();
+}
+
+// A CoW fork of a world and a snapshot-load of the same world must be
+// the same world, bit for bit: fork() traverses the shared template
+// without materializing it, and the resulting state stream has to be
+// indistinguishable from the save/load path's.
+TEST(WorldForkIdentity, ForkOfWorldEqualsLoadOfItsSnapshot)
+{
+    const sys::SystemConfig cfg = hostConfig(3);
+    sys::HostSystem host(cfg);
+    host.pageCacheChurn(64); // move past the pristine boot state
+    const std::string path =
+        ::testing::TempDir() + "fork_vs_load.snap";
+    ASSERT_TRUE(host.saveSnapshot(path).ok());
+
+    host.freezeMemory();
+    const std::unique_ptr<sys::HostSystem> forked = host.fork();
+
+    sys::HostSystem loaded(cfg);
+    ASSERT_TRUE(loaded.loadSnapshot(path).ok());
+
+    EXPECT_EQ(worldBytes(*forked), worldBytes(loaded));
+}
+
+// The identity the Monte-Carlo engine rests on: forking the pristine
+// template with a trial seed reproduces a freshly constructed
+// HostSystem bit for bit, for every trial seed derivation.
+TEST(WorldForkIdentity, ForkTrialMatchesFreshConstruction)
+{
+    const sys::SystemConfig cfg = hostConfig(5);
+    const std::unique_ptr<const sys::HostSystem> tmpl =
+        sys::HostSystem::makeForkTemplate(cfg);
+    ASSERT_TRUE(tmpl->isPristineTemplate());
+    for (uint64_t trial = 0; trial < 4; ++trial) {
+        sys::SystemConfig trial_cfg = cfg;
+        trial_cfg.seed = base::SeedSequence(cfg.seed).seed(trial);
+        sys::HostSystem fresh(trial_cfg);
+        const std::unique_ptr<sys::HostSystem> forked =
+            sys::HostSystem::forkTrial(*tmpl, trial_cfg);
+        EXPECT_EQ(worldBytes(*forked), worldBytes(fresh))
+            << "trial " << trial;
+    }
 }
 
 class ResumeIdentityMatrix

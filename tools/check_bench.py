@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression check for the clone/fork benches.
+
+Runs the perf benches at a pinned configuration, collects the JSON
+metrics they emit (BENCH_clone.json, BENCH_table3.json) and compares
+the *gated* metrics against the checked-in baselines in
+bench/baselines/. Wall-clock numbers vary with the machine, so only
+machine-portable ratios are gated:
+
+    BENCH_clone.json: fork_speedup -- deep world construction over
+        CoW forkTrial(), per world. Higher is better; a drop of more
+        than the tolerance (default 20%) fails.
+
+Everything else (absolute seconds, trials/sec, peak RSS) is reported
+for trend-watching and uploaded as a CI artifact, but not gated.
+
+Usage:
+    check_bench.py --bench-dir <dir-with-bench-binaries>
+                   [--update-baseline] [--out-dir <dir>]
+                   [--tolerance 0.20]
+
+On a regression the comparison table goes to stdout and -- under
+GitHub Actions -- into the job summary ($GITHUB_STEP_SUMMARY).
+Intentional perf changes are re-baselined with --update-baseline and
+the new bench/baselines/*.json committed.
+
+Exit status: 0 when every gated metric holds (or baselines were
+updated), 1 on a regression or bench failure.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "bench" / "baselines"
+
+# Pinned flags: the perf smoke must be fast and reproducible in shape,
+# so it runs the --quick workloads at small world sizes.
+BENCHES = [
+    # (binary, emitted json, extra flags)
+    ("bench_clone_fork", "BENCH_clone.json",
+     ["--quick", "--host-gib=2", "--seed=1"]),
+    ("bench_table3_exploitation", "BENCH_table3.json",
+     ["--quick", "--host-gib=1", "--seed=1", "--system=s1"]),
+]
+
+# metric -> direction ("higher" / "lower" is better), per JSON file.
+GATED = {
+    "BENCH_clone.json": {"fork_speedup": "higher"},
+    # Table 3 rates are absolute wall-clock -> informational only.
+    "BENCH_table3.json": {},
+}
+
+
+def run_bench(bench_dir: pathlib.Path, name: str, json_name: str,
+              flags: list[str], work_dir: pathlib.Path) -> pathlib.Path:
+    # Absolute: the bench runs from a scratch cwd (stray checkpoint or
+    # JSON files must not land in the build tree).
+    exe = (bench_dir / name).resolve()
+    if not exe.exists():
+        sys.exit(f"error: bench binary not found: {exe}")
+    out_flag = ("--out=" if json_name == "BENCH_clone.json"
+                else "--json-out=")
+    out_path = work_dir / json_name
+    result = subprocess.run(
+        [str(exe), *flags, out_flag + str(out_path)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        timeout=1200,
+        cwd=work_dir,
+    )
+    if result.returncode != 0:
+        sys.stdout.write(result.stdout)
+        sys.exit(f"error: {name} exited with {result.returncode}")
+    if not out_path.exists():
+        sys.exit(f"error: {name} did not write {json_name}")
+    return out_path
+
+
+def write_step_summary(lines: list[str]) -> None:
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as summary:
+        summary.write("## Perf-smoke regression\n\n")
+        summary.write("\n".join(lines) + "\n\n")
+        summary.write(
+            "Intentional perf change? Re-baseline with "
+            "`tools/check_bench.py --bench-dir <dir> "
+            "--update-baseline` and commit bench/baselines/.\n")
+
+
+def compare(json_name: str, actual: dict, baseline: dict,
+            tolerance: float, failures: list[str]) -> None:
+    for metric, direction in GATED[json_name].items():
+        if metric not in baseline:
+            failures.append(f"{json_name}: baseline lacks gated "
+                            f"metric '{metric}'; re-baseline")
+            continue
+        if metric not in actual:
+            failures.append(f"{json_name}: bench no longer emits "
+                            f"gated metric '{metric}'")
+            continue
+        base, cur = float(baseline[metric]), float(actual[metric])
+        if base <= 0:
+            continue  # degenerate baseline; nothing to gate against
+        change = (cur - base) / base
+        regressed = (change < -tolerance if direction == "higher"
+                     else change > tolerance)
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{verdict:9s} {json_name}:{metric} "
+              f"baseline={base:.3f} current={cur:.3f} "
+              f"({change:+.1%}, gate ±{tolerance:.0%}, "
+              f"{direction} is better)")
+        if regressed:
+            failures.append(
+                f"{json_name}: {metric} regressed {change:+.1%} "
+                f"(baseline {base:.3f} -> {cur:.3f})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench-dir", required=True, type=pathlib.Path,
+                        help="directory holding the bench binaries")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite bench/baselines/ instead of "
+                             "comparing")
+    parser.add_argument("--out-dir", type=pathlib.Path,
+                        help="also copy the fresh JSON reports here "
+                             "(for CI artifact upload)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="gated-metric regression tolerance "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        work_dir = pathlib.Path(tmp)
+        for bench, json_name, flags in BENCHES:
+            out_path = run_bench(args.bench_dir, bench, json_name,
+                                 flags, work_dir)
+            actual = json.loads(out_path.read_text())
+            if args.out_dir:
+                args.out_dir.mkdir(parents=True, exist_ok=True)
+                shutil.copy(out_path, args.out_dir / json_name)
+            baseline_path = BASELINE_DIR / json_name
+            if args.update_baseline:
+                BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+                shutil.copy(out_path, baseline_path)
+                print(f"updated {baseline_path.relative_to(REPO_ROOT)}")
+                continue
+            if not baseline_path.exists():
+                failures.append(
+                    f"missing baseline {json_name}; run with "
+                    "--update-baseline to create it")
+                continue
+            baseline = json.loads(baseline_path.read_text())
+            compare(json_name, actual, baseline, args.tolerance,
+                    failures)
+
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        write_step_summary(failures)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

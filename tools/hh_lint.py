@@ -28,6 +28,11 @@ Rules (see docs/static_analysis.md for the rationale and how to add one):
                       serialized layout without bumping
                       kSnapshotFormatVersion would let old snapshots be
                       silently reinterpreted instead of rejected
+  no-deep-world-copy  a copy constructor on a world-state type
+                      (HostSystem, DramSystem, BuddyAllocator,
+                      MemoryBackend, FrameStore) that is not = delete:
+                      worlds duplicate through their O(touched-pages)
+                      CoW fork paths, never by deep copy
   bad-waiver          an hh-lint waiver without a justification
 
 After an intentional format change: bump kSnapshotFormatVersion in
@@ -75,6 +80,9 @@ RULES = {
     "snapshot-version": "serialized saveState() layout changed without "
                         "a kSnapshotFormatVersion bump; bump it and run "
                         "hh_lint.py --update-snapshot-manifest",
+    "no-deep-world-copy": "world-state types clone via their CoW fork "
+                          "paths (fork()/forkTrial()/forkFrom()); "
+                          "declare the copy constructor = delete",
     "bad-waiver": "hh-lint waiver without a `-- justification`",
 }
 
@@ -110,6 +118,14 @@ FUNC_BODY_OPEN_RE = re.compile(
     r"(?:\s|\bconst\b|\bnoexcept\b|\boverride\b|\bfinal\b)*\{")
 SNAPSHOT_VERSION_RE = re.compile(r"\bkSnapshotFormatVersion\s*=\s*(\d+)")
 CLASS_NAME_RE = re.compile(r"\b(?:class|struct)\s+(\w+)")
+# World-state types whose duplication must go through the CoW fork
+# paths. A copy-ctor *declaration* of one of these (first parameter a
+# const reference to the same type) fires unless the same line deletes
+# it; the tag-dispatched fork ctors take the source as their second
+# parameter, so they never match.
+WORLD_COPY_RE = re.compile(
+    r"\b(HostSystem|DramSystem|BuddyAllocator|MemoryBackend|FrameStore)"
+    r"\s*\(\s*(?:const\s+)?(?:\w+\s*::\s*)*\1\s*&(?!&)")
 
 
 def strip_code(text):
@@ -376,6 +392,8 @@ def lint_file(path, enabled_for, fault_registry=None, site_uses=None,
                   float_accum_re.search(line))
         if NAKED_NEW_RE.search(line) or NAKED_DELETE_RE.search(line):
             check("naked-new", lineno, True)
+        if WORLD_COPY_RE.search(line) and "delete" not in line:
+            check("no-deep-world-copy", lineno, True)
         if is_header and NODISCARD_DECL_RE.match(line):
             prev = stripped_lines[lineno - 2] if lineno >= 2 else ""
             if "[[nodiscard]]" not in line and "[[nodiscard]]" not in prev:
