@@ -157,7 +157,7 @@ main(int argc, char **argv)
                 fork_per_world, fork_reps);
     std::printf("fork speedup        %8.1fx\n", speedup);
 
-    JsonReport report;
+    JsonReport report("bench_clone_fork");
     report.set("world_gib", world_gib);
     report.set("template_build_seconds", template_seconds);
     report.set("deep_seconds_per_world", deep_per_world);

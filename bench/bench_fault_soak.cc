@@ -16,6 +16,7 @@
  */
 
 #include "bench_common.h"
+#include "bench_json.h"
 
 using namespace hh;
 using namespace hh::bench;
@@ -36,6 +37,12 @@ struct SoakOptions
     bool resume = false;
     /** Simulated crash: stop each campaign after N attempts. */
     uint64_t killAt = 0;
+    /**
+     * Telemetry report (BENCH_soak.json shape) for the nightly trend
+     * pipeline; empty = off. Status messages go to stderr because the
+     * nightly kill/resume leg byte-diffs this binary's stdout.
+     */
+    std::string jsonOut;
 
     static SoakOptions
     parse(int argc, char **argv)
@@ -65,6 +72,8 @@ struct SoakOptions
                 soak.resume = true;
             else if (const char *v7 = value("--resume="))
                 soak.resume = true, soak.checkpointPath = v7;
+            else if (const char *v8 = value("--json-out="))
+                soak.jsonOut = v8;
         }
         return soak;
     }
@@ -107,6 +116,9 @@ main(int argc, char **argv)
                     soak.seedBase + soak.trials - 1),
                 soak.intensity);
 
+    // Constructed before the trials so env_wall_seconds covers the
+    // whole soak, not just the report assembly.
+    JsonReport report("bench_fault_soak");
     analysis::TextTable table({"Plan seed", "Status", "Degraded",
                                "Attempts", "Retries", "Reprofiles",
                                "Faults fired"});
@@ -164,5 +176,22 @@ main(int argc, char **argv)
                 "%llu faults fired\n",
                 successes, soak.trials, degraded,
                 static_cast<unsigned long long>(faults_total));
+
+    if (!soak.jsonOut.empty()) {
+        const double trials = soak.trials ? soak.trials : 1;
+        report.set("trials", static_cast<uint64_t>(soak.trials));
+        report.set("successes", static_cast<uint64_t>(successes));
+        report.set("success_rate", successes / trials);
+        report.set("degraded", static_cast<uint64_t>(degraded));
+        report.set("degraded_rate", degraded / trials);
+        report.set("faults_fired", faults_total);
+        report.set("intensity", soak.intensity);
+        report.set("seed_base", soak.seedBase);
+        if (!report.writeFile(soak.jsonOut))
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         soak.jsonOut.c_str());
+        else
+            std::fprintf(stderr, "wrote %s\n", soak.jsonOut.c_str());
+    }
     return 0;
 }

@@ -25,6 +25,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <variant>
@@ -63,12 +65,59 @@ peakRssBytes()
 }
 
 /**
+ * The commit the running binary was built from: $GITHUB_SHA under CI,
+ * else `git rev-parse HEAD`, else "unknown". Trend tooling
+ * (tools/bench_trend.py) keys history rows on it.
+ */
+inline std::string
+gitSha()
+{
+    if (const char *sha = std::getenv("GITHUB_SHA"))
+        return sha;
+    std::string out;
+    if (std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[128];
+        if (std::fgets(buf, sizeof buf, p) != nullptr) {
+            buf[std::strcspn(buf, "\n")] = '\0';
+            out = buf;
+        }
+        ::pclose(p);
+    }
+    return out.empty() ? "unknown" : out;
+}
+
+/**
  * Flat JSON object writer: set() metrics, then writeFile(). Keys are
  * emitted sorted so reports diff cleanly.
+ *
+ * Constructing with a bench name opts into the standard telemetry
+ * envelope: every report gains env_bench, env_git_sha,
+ * env_schema_version, env_wall_seconds (process lifetime up to
+ * render) and env_peak_rss_bytes, plus env_config_fingerprint when
+ * the bench calls setConfigFingerprint(). The env_ prefix keeps
+ * envelope keys disjoint from metric keys, so gating and trend
+ * tooling can tell the two apart mechanically.
  */
 class JsonReport
 {
   public:
+    JsonReport() = default;
+
+    explicit JsonReport(const std::string &bench_name)
+        : benchName(bench_name), envelope(true)
+    {
+    }
+
+    /** Stamp the campaign/config identity into the envelope. */
+    void
+    setConfigFingerprint(uint64_t fingerprint)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(fingerprint));
+        configFingerprint = buf;
+    }
+
     void set(const std::string &key, double value) { values[key] = value; }
     void
     set(const std::string &key, uint64_t value)
@@ -85,8 +134,23 @@ class JsonReport
     std::string
     render() const
     {
+        // Merge the envelope into a copy so render() stays const and
+        // repeatable; wall/RSS are sampled at render time (the whole
+        // bench run, not a sub-phase).
+        std::map<std::string, std::variant<double, std::string>>
+            merged = values;
+        if (envelope) {
+            merged["env_bench"] = benchName;
+            merged["env_git_sha"] = gitSha();
+            merged["env_schema_version"] = 1.0;
+            merged["env_wall_seconds"] = lifetime.seconds();
+            merged["env_peak_rss_bytes"] =
+                static_cast<double>(peakRssBytes());
+            if (!configFingerprint.empty())
+                merged["env_config_fingerprint"] = configFingerprint;
+        }
         std::string out = "{\n";
-        for (auto it = values.begin(); it != values.end(); ++it) {
+        for (auto it = merged.begin(); it != merged.end(); ++it) {
             out += "  \"" + it->first + "\": ";
             if (const double *num = std::get_if<double>(&it->second)) {
                 char buf[64];
@@ -103,7 +167,7 @@ class JsonReport
             } else {
                 out += "\"" + std::get<std::string>(it->second) + "\"";
             }
-            out += std::next(it) != values.end() ? ",\n" : "\n";
+            out += std::next(it) != merged.end() ? ",\n" : "\n";
         }
         out += "}\n";
         return out;
@@ -124,6 +188,11 @@ class JsonReport
 
   private:
     std::map<std::string, std::variant<double, std::string>> values;
+    std::string benchName;
+    std::string configFingerprint;
+    /** Started at report construction == bench start in practice. */
+    WallTimer lifetime;
+    bool envelope = false;
 };
 
 } // namespace hh::bench

@@ -13,6 +13,8 @@
  *   hh::vm       -- a guest VM and its guest-facing operations
  *   hh::sys      -- host assembly and the S1/S2/S3 presets
  *   hh::attack   -- profiling, Page Steering, exploitation
+ *   hh::snapshot -- crash-safe snapshots and campaign checkpoints
+ *   hh::shard    -- sharded multi-process campaign sweeps
  *   hh::analysis -- DRAMDig, TRRespass, report formatting
  *
  * Typical use: build a host from a preset, create a VM, and drive the
@@ -51,6 +53,7 @@
 #include "kvm/mmu.h"
 #include "mm/buddy_allocator.h"
 #include "mm/page.h"
+#include "shard/shard.h"
 #include "snapshot/checkpoint_policy.h"
 #include "snapshot/resume_identity.h"
 #include "snapshot/snapshot.h"

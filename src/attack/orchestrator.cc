@@ -451,15 +451,6 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads)
     return runAttempts(attempts, threads, snapshot::CheckpointPolicy{});
 }
 
-namespace {
-
-/**
- * Serialized size of one AttemptOutcome (count() validation):
- * success, bitsTargeted, five u64 counters + duration, retries,
- * backoffTime, faultsFired -- keep in sync with writeOutcome().
- */
-constexpr uint64_t kOutcomeBytes = 1 + 4 + 5 * 8 + 4 + 8 + 8;
-
 void
 writeOutcome(base::ArchiveWriter &w, const AttemptOutcome &outcome)
 {
@@ -491,8 +482,6 @@ readOutcome(base::ArchiveReader &r)
     outcome.faultsFired = r.u64();
     return outcome;
 }
-
-} // namespace
 
 uint64_t
 HyperHammerAttack::campaignFingerprint() const
@@ -528,11 +517,12 @@ HyperHammerAttack::campaignFingerprint() const
 
 base::Status
 HyperHammerAttack::saveCheckpoint(
-    const std::string &path,
+    const std::string &path, uint64_t begin,
     const std::vector<AttemptOutcome> &outcomes) const
 {
     base::ArchiveWriter w;
     w.u64(campaignFingerprint());
+    w.u64(begin);
     w.u64(outcomes.size());
     for (const AttemptOutcome &outcome : outcomes)
         writeOutcome(w, outcome);
@@ -546,9 +536,10 @@ HyperHammerAttack::saveCheckpoint(
 }
 
 base::Expected<std::vector<AttemptOutcome>>
-HyperHammerAttack::loadCheckpoint(const std::string &path) const
+HyperHammerAttack::loadCheckpoint(const std::string &path,
+                                  uint64_t begin) const
 {
-    const auto load_one = [this](const std::string &file)
+    const auto load_one = [this, begin](const std::string &file)
         -> base::Expected<std::vector<AttemptOutcome>> {
         auto loaded = base::loadArchiveFile(
             file, snapshot::kCheckpointMagic,
@@ -558,12 +549,21 @@ HyperHammerAttack::loadCheckpoint(const std::string &path) const
             return loaded.error();
         base::ArchiveReader r(loaded->payload);
         const uint64_t fingerprint = r.u64();
+        const uint64_t stored_begin = r.u64();
         if (!r.ok())
             return base::ErrorCode::InvalidArgument;
         if (fingerprint != campaignFingerprint()) {
             base::warn("checkpoint '%s': campaign fingerprint mismatch"
                        " (different config or profile); ignoring",
                        file.c_str());
+            return base::ErrorCode::InvalidArgument;
+        }
+        if (stored_begin != begin) {
+            base::warn("checkpoint '%s': trial-range start %llu does "
+                       "not match this range's %llu; ignoring",
+                       file.c_str(),
+                       static_cast<unsigned long long>(stored_begin),
+                       static_cast<unsigned long long>(begin));
             return base::ErrorCode::InvalidArgument;
         }
         const uint64_t n = r.count(kOutcomeBytes);
@@ -592,38 +592,39 @@ HyperHammerAttack::loadCheckpoint(const std::string &path) const
     return primary.error();
 }
 
-AttackResult
-HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
-                               const snapshot::CheckpointPolicy &policy)
+TrialRangeResult
+HyperHammerAttack::runTrialRange(uint64_t begin, uint64_t end,
+                                 unsigned threads,
+                                 const snapshot::CheckpointPolicy &policy)
 {
-    if (bits.empty()) {
-        AttackResult result;
-        result.status = base::ErrorCode::NotFound;
-        result.degraded = true;
-        return result;
-    }
+    HH_ASSERT(begin <= end);
+    const uint64_t total = end - begin;
     if (threads == 0)
         threads = base::ThreadPool::defaultThreads();
     // Trials own their hosts; the profiling VM is not reusable here.
     machine.reset();
 
-    // Outcomes accumulate as the completed trial prefix, already
-    // truncated at the first success (the sequential stopping point).
-    std::vector<AttemptOutcome> outcomes;
-    outcomes.reserve(attempts);
+    TrialRangeResult range;
+    // Outcomes accumulate as the completed range prefix, already
+    // truncated at the range's first success (the sequential stopping
+    // point -- for a whole campaign, the campaign's stopping point;
+    // for a shard, mergeShards() re-truncates globally).
+    std::vector<AttemptOutcome> &outcomes = range.outcomes;
+    outcomes.reserve(total);
     if (policy.resume && !policy.path.empty()) {
-        auto restored = loadCheckpoint(policy.path);
+        auto restored = loadCheckpoint(policy.path, begin);
         if (restored) {
             outcomes = std::move(*restored);
-            if (outcomes.size() > attempts)
-                outcomes.resize(attempts);
+            if (outcomes.size() > total)
+                outcomes.resize(total);
         } else if (restored.error() != base::ErrorCode::NotFound) {
             base::warn("checkpoint '%s': no valid checkpoint; "
-                       "starting from trial 0",
-                       policy.path.c_str());
+                       "starting from trial %llu",
+                       policy.path.c_str(),
+                       static_cast<unsigned long long>(begin));
         }
     }
-    const unsigned resumed = static_cast<unsigned>(outcomes.size());
+    range.resumedTrials = static_cast<unsigned>(outcomes.size());
 
     // Build the canonical template world once: every trial forks it
     // in O(pages touched) instead of rebuilding a host from scratch.
@@ -633,7 +634,7 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
         trialTemplate =
             sys::HostSystem::makeForkTemplate(host.config());
 
-    uint64_t first_success = attempts;
+    uint64_t first_success = total;
     for (uint64_t trial = 0; trial < outcomes.size(); ++trial) {
         if (outcomes[trial].success) {
             first_success = trial;
@@ -641,20 +642,20 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
         }
     }
 
-    // Run the remaining trials in checkpoint-sized blocks with their
+    // Run the remaining trials in checkpoint-sized blocks at their
     // absolute trial indices, so each outcome is the same pure
-    // function of (config, trial) an unchunked run computes.
+    // function of (config, trial) an unchunked single-process run
+    // computes.
     uint64_t done = outcomes.size();
     const uint64_t block = policy.enabled()
         ? policy.everyTrials
-        : std::max<uint64_t>(attempts, 1);
-    bool stopped = false;
-    while (done < attempts && first_success == attempts && !stopped) {
-        const uint64_t todo = std::min<uint64_t>(block, attempts - done);
+        : std::max<uint64_t>(total, 1);
+    while (done < total && first_success == total && !range.stopped) {
+        const uint64_t todo = std::min<uint64_t>(block, total - done);
         std::vector<AttemptOutcome> chunk(todo);
         const uint64_t rel = base::parallelFindFirst(
             todo, threads, [&](uint64_t i) {
-                chunk[i] = runTrial(done + i);
+                chunk[i] = runTrial(begin + done + i);
                 return chunk[i].success;
             });
         // Keep the complete prefix, truncated at the first success;
@@ -669,21 +670,36 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
         done += keep;
         if (policy.enabled()) {
             const base::Status saved =
-                saveCheckpoint(policy.path, outcomes);
+                saveCheckpoint(policy.path, begin, outcomes);
             if (!saved.ok())
                 base::warn("checkpoint '%s': save failed; campaign "
                            "continues unprotected",
                            policy.path.c_str());
             if (policy.stopAfterTrials != 0
-                && done >= policy.stopAfterTrials && done < attempts
-                && first_success == attempts)
-                stopped = true; // simulated crash (test hook)
+                && done >= policy.stopAfterTrials && done < total
+                && first_success == total)
+                range.stopped = true; // simulated crash (test hook)
+        }
+    }
+    return range;
+}
+
+AttackResult
+HyperHammerAttack::aggregateOutcomes(std::vector<AttemptOutcome> outcomes)
+{
+    // Truncate at the first success: exactly where a sequential loop
+    // stops. Idempotent on prefixes runTrialRange() already cut, and
+    // what makes shard concatenation order-insensitive once sorted.
+    for (uint64_t trial = 0; trial < outcomes.size(); ++trial) {
+        if (outcomes[trial].success) {
+            outcomes.resize(trial + 1);
+            break;
         }
     }
 
     // Merge in trial order: a pure function of the outcome prefix,
-    // hence independent of thread count, block size and resume
-    // history.
+    // hence independent of thread count, block size, shard layout and
+    // resume history.
     AttackResult result;
     for (const AttemptOutcome &outcome : outcomes) {
         BatchAggregates one;
@@ -691,18 +707,39 @@ HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
         result.stats.merge(one);
         result.totalTime += outcome.duration;
         result.faultsInjected += outcome.faultsFired;
-        result.outcomes.push_back(outcome);
     }
     result.attempts = static_cast<unsigned>(outcomes.size());
-    result.resumedTrials = resumed;
-    result.success = first_success < attempts;
-    if (stopped) {
-        result.status = base::ErrorCode::Busy;
-        return result;
-    }
+    result.success =
+        !outcomes.empty() && outcomes.back().success;
+    result.outcomes = std::move(outcomes);
     if (!result.success) {
         result.status = base::ErrorCode::LimitExceeded;
         result.degraded = result.faultsInjected > 0;
+    }
+    return result;
+}
+
+AttackResult
+HyperHammerAttack::runAttempts(unsigned attempts, unsigned threads,
+                               const snapshot::CheckpointPolicy &policy)
+{
+    if (bits.empty()) {
+        AttackResult result;
+        result.status = base::ErrorCode::NotFound;
+        result.degraded = true;
+        return result;
+    }
+    TrialRangeResult range =
+        runTrialRange(0, attempts, threads, policy);
+    const bool stopped = range.stopped;
+    const unsigned resumed = range.resumedTrials;
+    AttackResult result = aggregateOutcomes(std::move(range.outcomes));
+    result.resumedTrials = resumed;
+    if (stopped) {
+        // An interrupted campaign is unfinished, not failed: report
+        // Busy with the partial outcomes and no degradation verdict.
+        result.status = base::ErrorCode::Busy;
+        result.degraded = false;
     }
     return result;
 }

@@ -22,6 +22,7 @@
 #include "attack/page_steering.h"
 #include "attack/profiler.h"
 #include "attack/types.h"
+#include "base/archive.h"
 #include "base/stats.h"
 #include "snapshot/checkpoint_policy.h"
 #include "sys/host_system.h"
@@ -109,6 +110,19 @@ struct BatchAggregates
     void merge(const BatchAggregates &other);
 };
 
+/**
+ * Serialized size of one AttemptOutcome (count() validation):
+ * success, bitsTargeted, five u64 counters + duration, retries,
+ * backoffTime, faultsFired -- keep in sync with writeOutcome().
+ */
+constexpr uint64_t kOutcomeBytes = 1 + 4 + 5 * 8 + 4 + 8 + 8;
+
+/** Append one outcome's canonical wire form to @p w. */
+void writeOutcome(base::ArchiveWriter &w, const AttemptOutcome &outcome);
+
+/** Read one outcome in writeOutcome() order. */
+AttemptOutcome readOutcome(base::ArchiveReader &r);
+
 /** Aggregate result of an attack run (the Table 3 row). */
 struct AttackResult
 {
@@ -137,6 +151,23 @@ struct AttackResult
 
     /** Mean virtual duration of one attempt, seconds. */
     double avgAttemptSeconds() const;
+};
+
+/**
+ * Raw product of a contiguous trial range [begin, end): the completed
+ * outcome prefix (relative to @c begin, truncated at the range's first
+ * success), how many of those trials were restored from a checkpoint,
+ * and whether a stopAfterTrials stop cut the range short. This is the
+ * shard hand-off unit: hh::shard wraps it in a manifest and
+ * mergeShards() recombines ranges into the canonical AttackResult.
+ */
+struct TrialRangeResult
+{
+    std::vector<AttemptOutcome> outcomes;
+    /** Trials restored from a checkpoint rather than re-run. */
+    unsigned resumedTrials = 0;
+    /** True when policy.stopAfterTrials ended the range early. */
+    bool stopped = false;
 };
 
 /**
@@ -217,6 +248,52 @@ class HyperHammerAttack
                              const snapshot::CheckpointPolicy &policy);
 
     /**
+     * Run the contiguous trial range [begin, end) of a campaign:
+     * every trial executes at its absolute index, so outcome
+     * i of the returned prefix is the same pure function of
+     * (configuration, begin + i) a single-process runAttempts(end)
+     * computes for that trial. The range stops early at its first
+     * success (later trials in the range are never observable in a
+     * sequential run) and honours @p policy exactly like
+     * runAttempts(): block-sized checkpoints carry @p begin so a
+     * resumed shard rejects artifacts from a different range, and
+     * policy.stopAfterTrials counts range-relative completions.
+     *
+     * This is the shard entry point -- callers other than
+     * runAttempts() and hh::shard must merge the returned outcomes
+     * through aggregateOutcomes()/shard::mergeShards(), never by
+     * folding BatchAggregates directly (enforced by the
+     * shard-merge-only lint rule). Requires profilePhase() first.
+     */
+    TrialRangeResult
+    runTrialRange(uint64_t begin, uint64_t end, unsigned threads,
+                  const snapshot::CheckpointPolicy &policy);
+
+    /**
+     * The sanctioned outcome -> AttackResult merge: truncates
+     * @p outcomes at the first success (idempotent on already
+     * truncated prefixes), folds BatchAggregates in trial order and
+     * derives success/attempts/status/degraded exactly like a
+     * sequential run. Both runAttempts() overloads and
+     * shard::mergeShards() funnel through here, which is what makes
+     * "bitwise-identical at any shard count x thread count" a single
+     * code path rather than a test-enforced coincidence.
+     * resumedTrials is left 0 -- range/shard bookkeeping belongs to
+     * the caller.
+     */
+    static AttackResult
+    aggregateOutcomes(std::vector<AttemptOutcome> outcomes);
+
+    /**
+     * Identity of a checkpointable campaign: host configuration, VM
+     * provisioning, attack tunables and the host-physical profile.
+     * Trials are pure functions of this plus the trial index, so a
+     * matching fingerprint means stored outcomes are reusable --
+     * across processes too; shard manifests embed it.
+     */
+    uint64_t campaignFingerprint() const;
+
+    /**
      * The hypervisor secret the attack tries to read: a host kernel
      * page containing a magic value, planted at construction. Success
      * means the attacker read it through its own address space.
@@ -283,21 +360,21 @@ class HyperHammerAttack
     AttemptOutcome runTrial(uint64_t trial) const;
 
     /**
-     * Identity of a checkpointable campaign: host configuration, VM
-     * provisioning, attack tunables and the host-physical profile.
-     * Trials are pure functions of this plus the trial index, so a
-     * matching fingerprint means stored outcomes are reusable.
+     * Rotate the old checkpoint and atomically write the new one.
+     * @p begin is the absolute index of outcomes[0] (0 for a whole
+     * campaign, the range start for a shard).
      */
-    uint64_t campaignFingerprint() const;
-
-    /** Rotate the old checkpoint and atomically write the new one. */
     [[nodiscard]] base::Status
-    saveCheckpoint(const std::string &path,
+    saveCheckpoint(const std::string &path, uint64_t begin,
                    const std::vector<AttemptOutcome> &outcomes) const;
 
-    /** Restore outcomes from @p path, else from "<path>.prev". */
+    /**
+     * Restore outcomes from @p path, else from "<path>.prev". A
+     * checkpoint whose stored range start differs from @p begin is
+     * rejected like a fingerprint mismatch.
+     */
     [[nodiscard]] base::Expected<std::vector<AttemptOutcome>>
-    loadCheckpoint(const std::string &path) const;
+    loadCheckpoint(const std::string &path, uint64_t begin) const;
 };
 
 } // namespace hh::attack

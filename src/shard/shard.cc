@@ -1,0 +1,153 @@
+#include "shard.h"
+
+#include <algorithm>
+
+#include "base/archive.h"
+#include "base/log.h"
+#include "snapshot/snapshot_format.h"
+
+namespace hh::shard {
+
+std::vector<ShardRange>
+planShards(uint64_t total_trials, unsigned count)
+{
+    if (count == 0)
+        count = 1;
+    std::vector<ShardRange> ranges;
+    ranges.reserve(count);
+    const uint64_t base = total_trials / count;
+    const uint64_t extra = total_trials % count;
+    uint64_t begin = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        const uint64_t size = base + (i < extra ? 1 : 0);
+        ranges.push_back(ShardRange{begin, begin + size});
+        begin += size;
+    }
+    return ranges;
+}
+
+bool
+ShardResult::complete() const
+{
+    if (outcomes.size() == manifest.range.size())
+        return true;
+    return !outcomes.empty() && outcomes.back().success;
+}
+
+namespace {
+
+/** Manifest/outcome consistency shared by load and merge. */
+bool
+shardSane(const ShardResult &shard)
+{
+    const ShardManifest &m = shard.manifest;
+    return m.range.begin <= m.range.end
+        && m.range.end <= m.totalTrials
+        && shard.outcomes.size() <= m.range.size();
+}
+
+} // namespace
+
+base::Status
+saveShard(const std::string &path, const ShardResult &shard)
+{
+    base::ArchiveWriter w;
+    w.u64(shard.manifest.campaignFingerprint);
+    w.u64(shard.manifest.totalTrials);
+    w.u64(shard.manifest.range.begin);
+    w.u64(shard.manifest.range.end);
+    w.u64(shard.outcomes.size());
+    for (const attack::AttemptOutcome &outcome : shard.outcomes)
+        attack::writeOutcome(w, outcome);
+    return base::saveArchiveFile(path, snapshot::kShardMagic,
+                                 snapshot::kSnapshotFormatVersion,
+                                 w.buffer());
+}
+
+base::Expected<ShardResult>
+loadShard(const std::string &path)
+{
+    auto loaded = base::loadArchiveFile(
+        path, snapshot::kShardMagic, snapshot::kSnapshotFormatVersion,
+        snapshot::kSnapshotFormatVersion);
+    if (!loaded)
+        return loaded.error();
+    base::ArchiveReader r(loaded->payload);
+    ShardResult shard;
+    shard.manifest.campaignFingerprint = r.u64();
+    shard.manifest.totalTrials = r.u64();
+    shard.manifest.range.begin = r.u64();
+    shard.manifest.range.end = r.u64();
+    const uint64_t n = r.count(attack::kOutcomeBytes);
+    shard.outcomes.reserve(n);
+    for (uint64_t i = 0; i < n && r.ok(); ++i)
+        shard.outcomes.push_back(attack::readOutcome(r));
+    if (!r.ok() || !r.atEnd()) {
+        base::warn("shard '%s': malformed outcome records",
+                   path.c_str());
+        return base::ErrorCode::InvalidArgument;
+    }
+    if (!shardSane(shard)) {
+        base::warn("shard '%s': manifest inconsistent with payload",
+                   path.c_str());
+        return base::ErrorCode::InvalidArgument;
+    }
+    return shard;
+}
+
+base::Expected<attack::AttackResult>
+mergeShards(std::vector<ShardResult> shards)
+{
+    if (shards.empty())
+        return base::ErrorCode::InvalidArgument;
+    for (const ShardResult &shard : shards) {
+        if (!shardSane(shard))
+            return base::ErrorCode::InvalidArgument;
+        if (shard.manifest.campaignFingerprint
+                != shards.front().manifest.campaignFingerprint
+            || shard.manifest.totalTrials
+                != shards.front().manifest.totalTrials)
+            return base::ErrorCode::InvalidArgument;
+    }
+
+    // Canonical order: any arrival order merges identically.
+    std::sort(shards.begin(), shards.end(),
+              [](const ShardResult &a, const ShardResult &b) {
+                  if (a.manifest.range.begin != b.manifest.range.begin)
+                      return a.manifest.range.begin
+                          < b.manifest.range.begin;
+                  return a.manifest.range.end < b.manifest.range.end;
+              });
+
+    const uint64_t total = shards.front().manifest.totalTrials;
+    uint64_t expected = 0;
+    for (const ShardResult &shard : shards) {
+        if (shard.manifest.range.begin < expected)
+            return base::ErrorCode::Exists; // duplicate / overlap
+        if (shard.manifest.range.begin > expected)
+            return base::ErrorCode::NotFound; // coverage gap
+        expected = shard.manifest.range.end;
+    }
+    if (expected != total)
+        return base::ErrorCode::NotFound; // missing tail shard
+
+    for (const ShardResult &shard : shards) {
+        if (!shard.complete())
+            return base::ErrorCode::Busy; // interrupted; resume first
+    }
+
+    // Concatenate in trial order. aggregateOutcomes truncates at the
+    // campaign's first success, discarding trials a sequential run
+    // never reaches (shards past a success still ran -- each process
+    // is oblivious to the others -- but their outcomes are not part
+    // of the canonical result).
+    std::vector<attack::AttemptOutcome> outcomes;
+    outcomes.reserve(total);
+    for (const ShardResult &shard : shards)
+        outcomes.insert(outcomes.end(), shard.outcomes.begin(),
+                        shard.outcomes.end());
+    return attack::HyperHammerAttack::aggregateOutcomes(
+        std::move(outcomes));
+}
+
+} // namespace hh::shard

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Sharded campaign sweeps: split a Monte-Carlo campaign of N trials
+ * into contiguous seed-range shards, run each shard in an independent
+ * OS process, and merge the shard artifacts back into the canonical
+ * AttackResult.
+ *
+ * The identity guarantee rests on three facts, each owned elsewhere:
+ * trials are pure functions of (campaign fingerprint, trial index)
+ * (PR 2), `runTrialRange` executes any contiguous range at absolute
+ * indices with full checkpoint/resume support (orchestrator), and
+ * `aggregateOutcomes` folds an outcome prefix in trial order (the one
+ * sanctioned merge). This layer only adds the on-disk hand-off: a
+ * manifest binding a shard's outcomes to its campaign + range, and a
+ * merge that validates the shards tile [0, N) before concatenating
+ * them in trial order. The merged result is bitwise-identical to a
+ * single-process `runAttempts(N)` at any shard count x thread count,
+ * including under fault plans and kill+resume of individual shards
+ * (docs/distributed_sweeps.md).
+ */
+
+#ifndef HYPERHAMMER_SHARD_SHARD_H
+#define HYPERHAMMER_SHARD_SHARD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/orchestrator.h"
+#include "base/status.h"
+
+namespace hh::shard {
+
+/** A contiguous, half-open range of absolute trial indices. */
+struct ShardRange
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+
+    uint64_t size() const { return end - begin; }
+    bool empty() const { return begin == end; }
+};
+
+/**
+ * Split @p total_trials into @p count contiguous near-even ranges:
+ * the first (total % count) shards get one extra trial. Ranges tile
+ * [0, total_trials) in order; with count > total_trials the surplus
+ * shards come back empty (begin == end), which merge accepts. count
+ * of 0 is treated as 1.
+ */
+std::vector<ShardRange> planShards(uint64_t total_trials,
+                                   unsigned count);
+
+/**
+ * What binds a shard artifact to its campaign: the campaign
+ * fingerprint (HyperHammerAttack::campaignFingerprint -- host config,
+ * VM provisioning, attack tunables and the host-physical profile),
+ * the full campaign size, and this shard's range. Two artifacts merge
+ * only when fingerprint and totalTrials agree; ranges must tile the
+ * campaign exactly.
+ */
+struct ShardManifest
+{
+    uint64_t campaignFingerprint = 0;
+    uint64_t totalTrials = 0;
+    ShardRange range;
+};
+
+/**
+ * One shard's product: its manifest plus the completed outcome prefix
+ * of its range (truncated at the shard's own first success, exactly
+ * what runTrialRange returns). A shard with fewer outcomes than its
+ * range and no trailing success is incomplete -- it was interrupted
+ * and must be resumed before merging.
+ */
+struct ShardResult
+{
+    ShardManifest manifest;
+    std::vector<attack::AttemptOutcome> outcomes;
+
+    /** All trials ran, or the range stopped at its own success. */
+    bool complete() const;
+};
+
+/**
+ * Write @p shard atomically (temp + fsync + rename) under the shard
+ * magic at the shared snapshot format version.
+ */
+[[nodiscard]] base::Status saveShard(const std::string &path,
+                                     const ShardResult &shard);
+
+/**
+ * Read a shard artifact back, rejecting truncated/corrupt files (the
+ * archive layer's framing), wrong-versioned files, and manifests that
+ * are internally inconsistent (range outside the campaign, more
+ * outcomes than the range holds).
+ */
+[[nodiscard]] base::Expected<ShardResult>
+loadShard(const std::string &path);
+
+/**
+ * The sanctioned shard merge. Validates that the shards belong to one
+ * campaign and tile [0, totalTrials) exactly, concatenates their
+ * outcomes in trial order, and hands the prefix to
+ * attack::HyperHammerAttack::aggregateOutcomes -- so the result is
+ * the same pure function of the outcome sequence a single-process
+ * run computes.
+ *
+ * Rejections, by Status:
+ *  - InvalidArgument: no shards; fingerprint or totalTrials mismatch
+ *    between shards; a manifest inconsistent with itself or the
+ *    campaign.
+ *  - Exists: duplicate or overlapping ranges.
+ *  - NotFound: a gap in coverage (a shard artifact is missing).
+ *  - Busy: a shard is incomplete (interrupted; resume it first).
+ *
+ * Input order is irrelevant: shards are sorted by range before
+ * validation, so any arrival order merges identically.
+ */
+[[nodiscard]] base::Expected<attack::AttackResult>
+mergeShards(std::vector<ShardResult> shards);
+
+} // namespace hh::shard
+
+#endif // HYPERHAMMER_SHARD_SHARD_H

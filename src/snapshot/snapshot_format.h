@@ -31,6 +31,9 @@ constexpr uint64_t kWorldSnapshotMagic = 0x484857524c440a01ull;
 /** Orchestrator campaign checkpoint (runAttempts): "HHCKPT\n" + v. */
 constexpr uint64_t kCheckpointMagic = 0x4848434b50540a01ull;
 
+/** Sharded-sweep range artifact (shard::saveShard): "HHSHRD\n" + v. */
+constexpr uint64_t kShardMagic = 0x4848534852440a01ull;
+
 /**
  * Format version of every serialized payload. One shared version: a
  * change in any subsystem's encoding invalidates all snapshot kinds,
@@ -40,8 +43,14 @@ constexpr uint64_t kCheckpointMagic = 0x4848434b50540a01ull;
  * saveState() emits is unchanged (the CoW backends serialize their
  * merged logical view), but the producers were rewritten wholesale,
  * so pre-refactor snapshots are retired rather than trusted.
+ *
+ * v3: sharded sweeps. Campaign checkpoints gained the absolute
+ * trial-range start after the fingerprint (a whole campaign writes 0;
+ * a shard writes its range begin), so a shard's in-flight checkpoint
+ * can never be resumed into the wrong range. Pre-shard checkpoints
+ * are rejected by version.
  */
-constexpr uint32_t kSnapshotFormatVersion = 2;
+constexpr uint32_t kSnapshotFormatVersion = 3;
 
 } // namespace hh::snapshot
 

@@ -1,0 +1,37 @@
+// Fixture for the shard-merge-only rule: campaign outcomes are
+// folded through HyperHammerAttack::aggregateOutcomes (directly, or
+// via shard::mergeShards), never by hand. A local BatchAggregates
+// accumulator or a mutated AttackResult::stats forks the merge
+// semantics, and the sharded result silently stops being
+// bitwise-identical to the single-process run.
+
+namespace hh::attack {
+
+void
+handRolledMerge(const AttackResult &partial, AttackResult &result)
+{
+    BatchAggregates agg;
+    for (const AttemptOutcome &outcome : partial.outcomes) {
+        agg.add(outcome); // expect: shard-merge-only
+    }
+    agg.merge(partial.stats); // expect: shard-merge-only
+    result.stats.merge(agg); // expect: shard-merge-only
+    result.stats.add(partial.outcomes.front()); // expect: shard-merge-only
+}
+
+double
+readOnlyUsesAreFine(const AttackResult &result)
+{
+    // Reading merged statistics is not aggregation: no finding.
+    return result.stats.demotions.sum()
+        + result.stats.retries.mean();
+}
+
+AttackResult
+sanctionedPath(std::vector<AttemptOutcome> outcomes)
+{
+    // The one true merge: no finding.
+    return HyperHammerAttack::aggregateOutcomes(std::move(outcomes));
+}
+
+} // namespace hh::attack

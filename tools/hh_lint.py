@@ -83,6 +83,11 @@ RULES = {
     "no-deep-world-copy": "world-state types clone via their CoW fork "
                           "paths (fork()/forkTrial()/forkFrom()); "
                           "declare the copy constructor = delete",
+    "shard-merge-only": "campaign outcome aggregation outside the "
+                        "sanctioned merge path; fold outcomes through "
+                        "HyperHammerAttack::aggregateOutcomes / "
+                        "shard::mergeShards so sharded and "
+                        "single-process results stay bitwise-identical",
     "bad-waiver": "hh-lint waiver without a `-- justification`",
 }
 
@@ -126,6 +131,15 @@ CLASS_NAME_RE = re.compile(r"\b(?:class|struct)\s+(\w+)")
 WORLD_COPY_RE = re.compile(
     r"\b(HostSystem|DramSystem|BuddyAllocator|MemoryBackend|FrameStore)"
     r"\s*\(\s*(?:const\s+)?(?:\w+\s*::\s*)*\1\s*&(?!&)")
+# Campaign outcome aggregation is a single code path
+# (HyperHammerAttack::aggregateOutcomes, reached directly or through
+# shard::mergeShards); folding BatchAggregates by hand -- a local
+# accumulator's .add()/.merge(), or mutating an AttackResult's .stats
+# -- forks the merge semantics and silently breaks the sharded-vs-
+# single-process bitwise identity.
+BATCH_AGG_DECL_RE = re.compile(r"\bBatchAggregates\s+(\w+)\s*[;{=(]")
+STATS_MUTATE_RE = re.compile(
+    r"\.\s*stats\s*\.\s*(?:add|merge)\s*\(")
 
 
 def strip_code(text):
@@ -367,6 +381,12 @@ def lint_file(path, enabled_for, fault_registry=None, site_uses=None,
         alt = "|".join(re.escape(n) for n in sorted(float_names))
         float_accum_re = re.compile(
             r"(?<![\w.])(?:" + alt + r")\s*[+\-]=")
+    agg_names = collect_names(BATCH_AGG_DECL_RE, texts)
+    agg_mutate_re = None
+    if agg_names:
+        alt = "|".join(re.escape(n) for n in sorted(agg_names))
+        agg_mutate_re = re.compile(
+            r"(?<![\w.])(?:" + alt + r")\s*\.\s*(?:add|merge)\s*\(")
 
     scan_fault_points(path, texts[0], waivers, enabled_for,
                       fault_registry, site_uses, findings)
@@ -394,6 +414,9 @@ def lint_file(path, enabled_for, fault_registry=None, site_uses=None,
             check("naked-new", lineno, True)
         if WORLD_COPY_RE.search(line) and "delete" not in line:
             check("no-deep-world-copy", lineno, True)
+        if (STATS_MUTATE_RE.search(line)
+                or (agg_mutate_re and agg_mutate_re.search(line))):
+            check("shard-merge-only", lineno, True)
         if is_header and NODISCARD_DECL_RE.match(line):
             prev = stripped_lines[lineno - 2] if lineno >= 2 else ""
             if "[[nodiscard]]" not in line and "[[nodiscard]]" not in prev:

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Sharded multi-process campaign sweep driver.
+ *
+ * Splits a Monte-Carlo campaign of N trials into contiguous
+ * seed-range shards, runs each shard as an independent OS process
+ * (each one profiles its own host -- the campaign is a pure function
+ * of the configuration, so every process derives the identical
+ * host-physical profile and fingerprint), and merges the shard
+ * artifacts through hh::shard::mergeShards. The merged result is
+ * bitwise-identical to a single-process runAttempts() at any shard
+ * count x thread count, which `single` and `merge` make checkable by
+ * printing the same canonical dump: CI byte-diffs the two
+ * (docs/distributed_sweeps.md).
+ *
+ * Subcommands:
+ *   single                  run the campaign in-process, print dump
+ *   run   --shard=I/K --out=F  run shard I of K, write artifact F
+ *   merge FILE...           merge shard artifacts, print dump
+ *   sweep --shards=K        fork K `run` children, merge, print dump
+ *
+ * Shared flags: --trials=N --threads=N --seed=N --host-gib=N
+ *   --fault-seed=N --fault-intensity=X (X > 0 installs a randomized
+ *   FaultPlan) --checkpoint-every=N --resume --stop-after=N
+ *
+ * The dump deliberately excludes resumedTrials (bookkeeping of *how*
+ * a result was computed, not *what* it is -- the same masking
+ * snapshot::verifyResumeIdentity applies) and renders every double as
+ * its IEEE-754 bit pattern: a byte-equal dump means a bitwise-equal
+ * result.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <bit>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "hyperhammer/hyperhammer.h"
+
+using namespace hh;
+
+namespace {
+
+struct SweepOptions
+{
+    unsigned trials = 8;
+    unsigned threads = 1;
+    uint64_t seed = 1;
+    uint64_t hostBytes = 0;
+    uint64_t faultSeed = 0;
+    double faultIntensity = 0.0;
+    uint64_t checkpointEvery = 0;
+    bool resume = false;
+    uint64_t stopAfter = 0;
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    std::string out;
+    std::string outDir = ".";
+    unsigned shards = 4;
+    std::vector<std::string> files;
+
+    static SweepOptions
+    parse(int argc, char **argv)
+    {
+        SweepOptions opts;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&arg](const char *prefix) -> const char * {
+                const size_t len = std::strlen(prefix);
+                return arg.compare(0, len, prefix) == 0
+                    ? arg.c_str() + len : nullptr;
+            };
+            if (const char *v = value("--trials="))
+                opts.trials = static_cast<unsigned>(
+                    std::strtoul(v, nullptr, 0));
+            else if (const char *v2 = value("--threads="))
+                opts.threads = static_cast<unsigned>(
+                    std::strtoul(v2, nullptr, 0));
+            else if (const char *v3 = value("--seed="))
+                opts.seed = std::strtoull(v3, nullptr, 0);
+            else if (const char *v4 = value("--host-gib="))
+                opts.hostBytes =
+                    std::strtoull(v4, nullptr, 0) * 1_GiB;
+            else if (const char *v5 = value("--fault-seed="))
+                opts.faultSeed = std::strtoull(v5, nullptr, 0);
+            else if (const char *v6 = value("--fault-intensity="))
+                opts.faultIntensity = std::strtod(v6, nullptr);
+            else if (const char *v7 = value("--checkpoint-every="))
+                opts.checkpointEvery = std::strtoull(v7, nullptr, 0);
+            else if (const char *v8 = value("--stop-after="))
+                opts.stopAfter = std::strtoull(v8, nullptr, 0);
+            else if (const char *v9 = value("--shard=")) {
+                // I/K, e.g. --shard=2/4.
+                char *slash = nullptr;
+                opts.shardIndex = static_cast<unsigned>(
+                    std::strtoul(v9, &slash, 0));
+                if (slash == nullptr || *slash != '/') {
+                    std::fprintf(stderr,
+                                 "hh_sweep: bad --shard (want I/K)\n");
+                    std::exit(2);
+                }
+                opts.shardCount = static_cast<unsigned>(
+                    std::strtoul(slash + 1, nullptr, 0));
+            } else if (const char *v10 = value("--out="))
+                opts.out = v10;
+            else if (const char *v11 = value("--out-dir="))
+                opts.outDir = v11;
+            else if (const char *v12 = value("--shards="))
+                opts.shards = static_cast<unsigned>(
+                    std::strtoul(v12, nullptr, 0));
+            else if (arg == "--resume")
+                opts.resume = true;
+            else if (arg.rfind("--", 0) == 0) {
+                std::fprintf(stderr, "hh_sweep: unknown flag %s\n",
+                             arg.c_str());
+                std::exit(2);
+            } else
+                opts.files.push_back(arg);
+        }
+        return opts;
+    }
+};
+
+sys::SystemConfig
+campaignHostConfig(const SweepOptions &opts)
+{
+    sys::SystemConfig cfg = sys::SystemConfig::s1(opts.seed).withMemory(
+        opts.hostBytes ? opts.hostBytes : 1_GiB);
+    // Densify weak cells so attempts have material to work with at
+    // this scale (same factor the orchestrator tests and the fault
+    // soak use).
+    cfg.dram.fault.weakCellsPerRow *= 4.0;
+    if (opts.faultIntensity > 0.0)
+        cfg = cfg.withFaults(fault::FaultPlan::randomized(
+            opts.faultSeed, opts.faultIntensity));
+    return cfg;
+}
+
+vm::VmConfig
+campaignVmConfig()
+{
+    vm::VmConfig cfg;
+    cfg.bootMemBytes = 64_MiB;
+    cfg.virtioMemRegionSize = 1_GiB;
+    cfg.virtioMemPlugged = 640_MiB;
+    return cfg;
+}
+
+attack::AttackConfig
+campaignAttackConfig(const SweepOptions &opts)
+{
+    attack::AttackConfig cfg;
+    cfg.maxAttempts = opts.trials;
+    cfg.steering.exhaustMappings = 2'500;
+    return cfg;
+}
+
+/** One per-process campaign context: host + profiled attack. */
+struct Campaign
+{
+    std::unique_ptr<sys::HostSystem> host;
+    std::unique_ptr<attack::HyperHammerAttack> attack;
+};
+
+Campaign
+buildCampaign(const SweepOptions &opts)
+{
+    Campaign campaign;
+    campaign.host =
+        std::make_unique<sys::HostSystem>(campaignHostConfig(opts));
+    campaign.attack = std::make_unique<attack::HyperHammerAttack>(
+        *campaign.host, campaignVmConfig(),
+        campaign.host->dram().mapping(), campaignAttackConfig(opts));
+    campaign.attack->profilePhase();
+    if (campaign.attack->hostProfile().empty()) {
+        std::fprintf(stderr,
+                     "hh_sweep: profiling found no exploitable bits "
+                     "at this configuration; nothing to sweep\n");
+        std::exit(1);
+    }
+    return campaign;
+}
+
+uint64_t
+bits64(double x)
+{
+    return std::bit_cast<uint64_t>(x);
+}
+
+void
+printStats(const char *name, const base::RunningStats &stats)
+{
+    const base::RunningStats::Raw raw = stats.raw();
+    std::printf("stat %s n=%llu mean=%016llx m2=%016llx "
+                "total=%016llx min=%016llx max=%016llx\n",
+                name, static_cast<unsigned long long>(raw.n),
+                static_cast<unsigned long long>(bits64(raw.mean)),
+                static_cast<unsigned long long>(bits64(raw.m2)),
+                static_cast<unsigned long long>(bits64(raw.total)),
+                static_cast<unsigned long long>(bits64(raw.min)),
+                static_cast<unsigned long long>(bits64(raw.max)));
+}
+
+/** The canonical dump `single` and `merge` both print. */
+void
+printResult(uint64_t fingerprint, unsigned trials,
+            const attack::AttackResult &result)
+{
+    std::printf("campaign fingerprint=%016llx trials=%u\n",
+                static_cast<unsigned long long>(fingerprint), trials);
+    std::printf("result success=%d attempts=%u status=%s degraded=%d "
+                "reprofiles=%u faultsInjected=%llu totalTime=%llu "
+                "profilingTime=%llu\n",
+                result.success ? 1 : 0, result.attempts,
+                base::errorName(result.status.error()),
+                result.degraded ? 1 : 0, result.reprofiles,
+                static_cast<unsigned long long>(result.faultsInjected),
+                static_cast<unsigned long long>(result.totalTime),
+                static_cast<unsigned long long>(result.profilingTime));
+    printStats("attemptSeconds", result.stats.attemptSeconds);
+    printStats("bitsTargeted", result.stats.bitsTargeted);
+    printStats("releasedSubBlocks", result.stats.releasedSubBlocks);
+    printStats("demotions", result.stats.demotions);
+    printStats("changedPages", result.stats.changedPages);
+    printStats("epteCandidates", result.stats.epteCandidates);
+    printStats("retries", result.stats.retries);
+    for (size_t i = 0; i < result.outcomes.size(); ++i) {
+        const attack::AttemptOutcome &o = result.outcomes[i];
+        std::printf(
+            "outcome %zu success=%d bits=%u released=%llu "
+            "demotions=%llu changed=%llu epte=%llu duration=%llu "
+            "retries=%u backoff=%llu faults=%llu\n",
+            i, o.success ? 1 : 0, o.bitsTargeted,
+            static_cast<unsigned long long>(o.releasedSubBlocks),
+            static_cast<unsigned long long>(o.demotions),
+            static_cast<unsigned long long>(o.changedPages),
+            static_cast<unsigned long long>(o.epteCandidates),
+            static_cast<unsigned long long>(o.duration), o.retries,
+            static_cast<unsigned long long>(o.backoffTime),
+            static_cast<unsigned long long>(o.faultsFired));
+    }
+}
+
+int
+cmdSingle(const SweepOptions &opts)
+{
+    Campaign campaign = buildCampaign(opts);
+    snapshot::CheckpointPolicy policy;
+    const attack::AttackResult result =
+        campaign.attack->runAttempts(opts.trials, opts.threads,
+                                     policy);
+    printResult(campaign.attack->campaignFingerprint(), opts.trials,
+                result);
+    return 0;
+}
+
+int
+cmdRun(const SweepOptions &opts)
+{
+    if (opts.out.empty()) {
+        std::fprintf(stderr, "hh_sweep run: --out=FILE required\n");
+        return 2;
+    }
+    if (opts.shardIndex >= opts.shardCount) {
+        std::fprintf(stderr, "hh_sweep run: shard %u out of range "
+                             "(%u shards)\n",
+                     opts.shardIndex, opts.shardCount);
+        return 2;
+    }
+    Campaign campaign = buildCampaign(opts);
+    const std::vector<shard::ShardRange> ranges =
+        shard::planShards(opts.trials, opts.shardCount);
+    const shard::ShardRange range = ranges[opts.shardIndex];
+
+    snapshot::CheckpointPolicy policy;
+    if (opts.checkpointEvery > 0) {
+        policy.path = opts.out + ".ckpt";
+        policy.everyTrials = opts.checkpointEvery;
+        policy.resume = opts.resume;
+        policy.stopAfterTrials = opts.stopAfter;
+    }
+    std::fprintf(stderr,
+                 "hh_sweep: shard %u/%u trials [%llu, %llu)\n",
+                 opts.shardIndex, opts.shardCount,
+                 static_cast<unsigned long long>(range.begin),
+                 static_cast<unsigned long long>(range.end));
+    attack::TrialRangeResult ranged = campaign.attack->runTrialRange(
+        range.begin, range.end, opts.threads, policy);
+    if (ranged.stopped) {
+        std::fprintf(stderr,
+                     "hh_sweep: shard stopped after %zu trials; "
+                     "rerun with --resume to finish\n",
+                     ranged.outcomes.size());
+        return 3; // incomplete by request (--stop-after test hook)
+    }
+
+    shard::ShardResult result;
+    result.manifest.campaignFingerprint =
+        campaign.attack->campaignFingerprint();
+    result.manifest.totalTrials = opts.trials;
+    result.manifest.range = range;
+    result.outcomes = std::move(ranged.outcomes);
+    const base::Status saved = shard::saveShard(opts.out, result);
+    if (!saved.ok()) {
+        std::fprintf(stderr, "hh_sweep: cannot write shard '%s': %s\n",
+                     opts.out.c_str(),
+                     base::errorName(saved.error()));
+        return 1;
+    }
+    std::fprintf(stderr, "hh_sweep: wrote %s (%zu outcomes)\n",
+                 opts.out.c_str(), result.outcomes.size());
+    return 0;
+}
+
+int
+mergeAndPrint(const SweepOptions &opts,
+              const std::vector<std::string> &files)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.reserve(files.size());
+    for (const std::string &file : files) {
+        auto loaded = shard::loadShard(file);
+        if (!loaded) {
+            std::fprintf(stderr, "hh_sweep: cannot load '%s': %s\n",
+                         file.c_str(),
+                         base::errorName(loaded.error()));
+            return 1;
+        }
+        shards.push_back(std::move(*loaded));
+    }
+    const uint64_t fingerprint =
+        shards.empty() ? 0 : shards.front().manifest.campaignFingerprint;
+    const uint64_t total =
+        shards.empty() ? 0 : shards.front().manifest.totalTrials;
+    auto merged = shard::mergeShards(std::move(shards));
+    if (!merged) {
+        std::fprintf(stderr, "hh_sweep: merge failed: %s\n",
+                     base::errorName(merged.error()));
+        return 1;
+    }
+    (void)opts;
+    printResult(fingerprint, static_cast<unsigned>(total), *merged);
+    return 0;
+}
+
+int
+cmdMerge(const SweepOptions &opts)
+{
+    if (opts.files.empty()) {
+        std::fprintf(stderr, "hh_sweep merge: no shard files given\n");
+        return 2;
+    }
+    return mergeAndPrint(opts, opts.files);
+}
+
+std::string
+selfExe(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+int
+cmdSweep(const SweepOptions &opts, const char *argv0)
+{
+    if (opts.shards == 0) {
+        std::fprintf(stderr, "hh_sweep sweep: --shards must be > 0\n");
+        return 2;
+    }
+    (void)::mkdir(opts.outDir.c_str(), 0777); // EEXIST is fine
+    const std::string exe = selfExe(argv0);
+
+    std::vector<std::string> files;
+    std::vector<pid_t> pids;
+    for (unsigned i = 0; i < opts.shards; ++i) {
+        const std::string out =
+            opts.outDir + "/shard_" + std::to_string(i) + ".bin";
+        files.push_back(out);
+        std::vector<std::string> args = {
+            exe,
+            "run",
+            "--trials=" + std::to_string(opts.trials),
+            "--threads=" + std::to_string(opts.threads),
+            "--seed=" + std::to_string(opts.seed),
+            "--fault-seed=" + std::to_string(opts.faultSeed),
+            "--fault-intensity=" + std::to_string(opts.faultIntensity),
+            "--shard=" + std::to_string(i) + "/"
+                + std::to_string(opts.shards),
+            "--out=" + out,
+        };
+        if (opts.hostBytes)
+            args.push_back("--host-gib="
+                           + std::to_string(opts.hostBytes / 1_GiB));
+        if (opts.checkpointEvery)
+            args.push_back("--checkpoint-every="
+                           + std::to_string(opts.checkpointEvery));
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "hh_sweep: fork failed\n");
+            return 1;
+        }
+        if (pid == 0) {
+            std::vector<char *> argv;
+            argv.reserve(args.size() + 1);
+            for (std::string &arg : args)
+                argv.push_back(arg.data());
+            argv.push_back(nullptr);
+            ::execv(exe.c_str(), argv.data());
+            std::fprintf(stderr, "hh_sweep: execv failed\n");
+            ::_exit(127);
+        }
+        pids.push_back(pid);
+    }
+
+    bool failed = false;
+    for (size_t i = 0; i < pids.size(); ++i) {
+        int status = 0;
+        if (::waitpid(pids[i], &status, 0) < 0
+            || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "hh_sweep: shard %zu child failed "
+                         "(status %d)\n",
+                         i, status);
+            failed = true;
+        }
+    }
+    if (failed)
+        return 1;
+    return mergeAndPrint(opts, files);
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: hh_sweep <single|run|merge|sweep> [flags]\n"
+        "  single  run the whole campaign in-process, print dump\n"
+        "  run     run one shard: --shard=I/K --out=FILE\n"
+        "  merge   merge shard artifacts: FILE...\n"
+        "  sweep   fork --shards=K `run` children, merge, print\n"
+        "flags: --trials=N --threads=N --seed=N --host-gib=N\n"
+        "       --fault-seed=N --fault-intensity=X\n"
+        "       --checkpoint-every=N --resume --stop-after=N\n"
+        "       --out-dir=DIR (sweep)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const SweepOptions opts = SweepOptions::parse(argc, argv);
+    if (cmd == "single")
+        return cmdSingle(opts);
+    if (cmd == "run")
+        return cmdRun(opts);
+    if (cmd == "merge")
+        return cmdMerge(opts);
+    if (cmd == "sweep")
+        return cmdSweep(opts, argv[0]);
+    usage();
+    return 2;
+}
