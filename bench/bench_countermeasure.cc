@@ -69,6 +69,7 @@ quarantineRows(const Options &opts, analysis::TextTable &table)
         device.setRequestedSize(device.pluggedSize()
                                 + 8 * kHugePageSize);
         const virtio::SubBlockId spare = device.subBlockCount() - 1;
+        // hh-lint: allow(status-discard) -- the plug is expected to fail; the recovery unplug below is what is measured
         (void)device.requestPlug(spare);
         const base::Status retry_unplug = device.requestUnplug(spare);
 

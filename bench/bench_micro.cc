@@ -125,8 +125,9 @@ BM_EptTranslate(benchmark::State &state)
     kvm::Mmu mmu(*world.dram, *world.buddy, kvm::MmuConfig{}, 1);
     auto block = world.buddy->allocPages(9, mm::MigrateType::Movable,
                                          mm::PageUse::GuestMemory);
-    (void)mmu.map2m(GuestPhysAddr(0),
-                    HostPhysAddr(*block * kPageSize));
+    const base::Status mapped = mmu.map2m(GuestPhysAddr(0),
+                                          HostPhysAddr(*block * kPageSize));
+    HH_ASSERT(mapped.ok());
     uint64_t off = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(mmu.translate(GuestPhysAddr(off)));
@@ -158,8 +159,9 @@ BM_EptDemotion(benchmark::State &state)
         auto block = world.buddy->allocPages(
             9, mm::MigrateType::Movable, mm::PageUse::GuestMemory);
         blocks.push_back(*block);
-        (void)mmu->map2m(GuestPhysAddr(gpa),
-                         HostPhysAddr(*block * kPageSize));
+        const base::Status mapped = mmu->map2m(
+            GuestPhysAddr(gpa), HostPhysAddr(*block * kPageSize));
+        HH_ASSERT(mapped.ok());
         state.ResumeTiming();
         benchmark::DoNotOptimize(
             mmu->access(GuestPhysAddr(gpa), kvm::Access::Exec));

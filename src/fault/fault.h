@@ -167,9 +167,11 @@ class FaultInjector
         std::vector<uint64_t> entryFired;
     };
 
+    // hh-lint: allow(snapshot-field-coverage) -- the plan is host configuration; loadState only validates entry counts against it
     FaultPlan schedule;
     std::array<SiteState, kFaultSiteCount> sites;
     /** Entry indices per site, in plan order. */
+    // hh-lint: allow(snapshot-field-coverage) -- derived index, rebuilt from the plan at construction
     std::array<std::vector<uint32_t>, kFaultSiteCount> bySite;
 };
 

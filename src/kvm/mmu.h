@@ -203,7 +203,9 @@ class Mmu
   private:
     dram::DramSystem &dram;
     mm::BuddyAllocator &buddy;
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     MmuConfig cfg;
+    // hh-lint: allow(snapshot-field-coverage) -- construction-time identity, re-supplied by the restoring caller
     uint16_t owner;
     /**
      * Varies the split-metadata batching: slab refills are phase-

@@ -217,6 +217,7 @@ class BuddyAllocator
     uint64_t freeCount = 0;
 
     /** PCP front-end: order-0 page stacks per migrate type. */
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     PcpConfig pcpCfg;
     std::array<std::vector<Pfn>, kMigrateTypes> pcp;
     fault::FaultInjector *faultInjector = nullptr;

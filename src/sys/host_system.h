@@ -248,6 +248,7 @@ class HostSystem
     /// @}
 
   private:
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     SystemConfig cfg;
     base::SimClock simClock;
     std::unique_ptr<fault::FaultInjector> injector;
@@ -255,6 +256,7 @@ class HostSystem
     std::unique_ptr<mm::BuddyAllocator> allocator;
     base::Rng rng;
     uint16_t nextVmId = 1;
+    // hh-lint: allow(snapshot-field-coverage) -- fork-lineage flag; a restored host is never a trial template
     bool pristineTemplate = false;
 
     /** Resident kernel/service pages; churn cycles through these. */

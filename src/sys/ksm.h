@@ -102,6 +102,7 @@ class Ksm
 
     dram::DramSystem &dram;
     mm::BuddyAllocator &buddy;
+    // hh-lint: allow(snapshot-field-coverage) -- enable switch is host configuration, fixed at construction
     bool on;
     fault::FaultInjector *faultInjector;
     KsmStats ksmStats;

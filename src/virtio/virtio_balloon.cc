@@ -13,7 +13,10 @@ VirtioBalloonDevice::~VirtioBalloonDevice()
     for (const auto &[gpa, frame] : base::sortedItems(replacements)) {
         if (inflated.count(gpa))
             continue; // re-inflated after a deflate: frame is gone
-        (void)mmu.unmap(GuestPhysAddr(gpa));
+        if (const base::Status s = mmu.unmap(GuestPhysAddr(gpa)); !s.ok())
+            base::warn("balloon teardown: unmap(%#llx) failed: %s",
+                       static_cast<unsigned long long>(gpa),
+                       base::errorName(s.error()));
         dram.backend().clearPage(frame);
         buddy.freePages(frame, 0);
     }

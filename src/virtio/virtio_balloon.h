@@ -85,8 +85,11 @@ class VirtioBalloonDevice
     dram::DramSystem &dram;
     mm::BuddyAllocator &buddy;
     kvm::Mmu &mmu;
+    // hh-lint: allow(snapshot-field-coverage) -- construction-time identity, re-supplied by the restoring caller
     uint16_t owner;
+    // hh-lint: allow(snapshot-field-coverage) -- construction-time region window, fixed by the wiring VM
     GuestPhysAddr regionStart;
+    // hh-lint: allow(snapshot-field-coverage) -- construction-time region window, fixed by the wiring VM
     uint64_t regionBytes;
     fault::FaultInjector *faultInjector;
     std::unordered_set<uint64_t> inflated;

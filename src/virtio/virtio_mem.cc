@@ -111,6 +111,7 @@ VirtioMemDevice::unplugBacking(SubBlockId sb)
     // The leaf EPT mapping may be a 2 MB leaf or (after a demotion or
     // even guest-induced corruption) 4 KB entries; either way the
     // device tears down everything covering the sub-block's GPAs.
+    // hh-lint: allow(status-discard) -- a corrupted range can be partially unmapped already; teardown proceeds regardless
     (void)mmu.unmapHugeRange(subBlockGpa(sb));
     if (vfio)
         vfio->unpinRange(block, kPagesPerHugePage);

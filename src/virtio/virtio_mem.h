@@ -193,7 +193,9 @@ class VirtioMemDevice
     mm::BuddyAllocator &buddy;
     kvm::Mmu &mmu;
     iommu::VfioContainer *vfio;
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     VirtioMemConfig cfg;
+    // hh-lint: allow(snapshot-field-coverage) -- construction-time identity, re-supplied by the restoring caller
     uint16_t owner;
     fault::FaultInjector *faultInjector;
 

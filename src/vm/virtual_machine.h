@@ -252,6 +252,7 @@ class VirtualMachine
   private:
     dram::DramSystem &dram;
     mm::BuddyAllocator &buddy;
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     VmConfig cfg;
     uint16_t vmId;
 
@@ -265,6 +266,7 @@ class VirtualMachine
     /** Host order-9 blocks backing boot RAM (for teardown). */
     std::vector<Pfn> bootBlocks;
 
+    // hh-lint: allow(snapshot-field-coverage) -- callbacks cannot be serialized; owners re-attach after restore
     WriteFaultHandler writeFaultHandler;
 };
 

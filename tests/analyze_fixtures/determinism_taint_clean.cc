@@ -1,0 +1,25 @@
+// hh-analyze fixture: deterministic call chains -- seeds threaded in
+// by value, fixed-point mixing -- must not be reported even though
+// the self-test treats every fixture as trial-outcome code.
+
+namespace fixture {
+
+int
+mixSeed(int a, int b)
+{
+  return a * 40503 + b;
+}
+
+int
+pickVictimRowDeterministic(int seed)
+{
+  return mixSeed(seed, 17) & 0xff;
+}
+
+int
+pickAggressorRow(int seed)
+{
+  return pickVictimRowDeterministic(seed) + 1;
+}
+
+}  // namespace fixture

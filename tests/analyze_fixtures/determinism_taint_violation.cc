@@ -1,0 +1,31 @@
+// hh-analyze fixture: determinism-taint must follow call chains into
+// wrappers that the textual raw-rand/wall-clock rules cannot see at
+// the call site. The self-test treats every fixture as trial-outcome
+// code (taint_roots = [""]), so each hop in the chain is a finding.
+#include <random>
+
+namespace fixture {
+
+// The wrapper: textually clean at its call sites, tainted inside.
+int
+hiddenEntropy()
+{
+  std::random_device dev;  // expect: determinism-taint
+  return static_cast<int>(dev());
+}
+
+// One hop from the primitive.
+int
+jitterSeed()
+{
+  return hiddenEntropy() * 3;  // expect: determinism-taint
+}
+
+// Two hops from the primitive: still caught.
+int
+pickVictimRow()
+{
+  return jitterSeed() & 0xff;  // expect: determinism-taint
+}
+
+}  // namespace fixture

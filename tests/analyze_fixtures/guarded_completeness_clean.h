@@ -1,0 +1,24 @@
+// hh-analyze fixture: guarded classes whose lambda-touched state is
+// fully annotated -- or whose unannotated fields never cross into a
+// callback -- must stay silent.
+#pragma once
+
+#define HH_GUARDED_BY(x)
+
+struct Mutex {};
+template <typename F>
+void enqueue(F f);
+
+class TidyTracker {
+ public:
+  void bump() {
+    enqueue([this] { pending_++; });
+  }
+
+ private:
+  Mutex mu_;
+  int pending_ HH_GUARDED_BY(mu_) = 0;
+  // Written once during configuration, before any callback exists;
+  // never referenced from a lambda, so no annotation is demanded.
+  int configuredOnce_ = 0;
+};

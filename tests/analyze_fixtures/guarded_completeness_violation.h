@@ -1,0 +1,26 @@
+// hh-analyze fixture: guarded-field-completeness -- once a class
+// annotates any field with HH_GUARDED_BY, sibling mutable fields
+// touched from lambdas (the ThreadPool-callback shape) must be
+// annotated too.
+#pragma once
+
+#define HH_GUARDED_BY(x)
+
+struct Mutex {};
+template <typename F>
+void enqueue(F f);
+
+class WorkTracker {
+ public:
+  void bump() {
+    enqueue([this] {
+      pending_++;
+      completed_++;
+    });
+  }
+
+ private:
+  Mutex mu_;
+  int pending_ HH_GUARDED_BY(mu_) = 0;
+  int completed_ = 0;  // expect: guarded-field-completeness
+};

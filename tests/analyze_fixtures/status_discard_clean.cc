@@ -1,0 +1,24 @@
+// hh-analyze fixture: Status results that are checked, propagated, or
+// bound to a variable are not discards.
+
+struct Status {
+  bool ok() const;
+};
+
+Status flushRow(int row);
+
+bool
+drainChecked()
+{
+  Status st = flushRow(1);
+  if (!st.ok()) {
+    return false;
+  }
+  return flushRow(2).ok();
+}
+
+Status
+drainPropagated()
+{
+  return flushRow(3);
+}

@@ -1,0 +1,46 @@
+// hh-analyze fixture: status-discard must catch Status/Expected
+// results dropped via (void) casts, bare call statements, and
+// discards inside destructors and catch blocks.
+
+struct Status {
+  bool ok() const;
+};
+
+Status unplugDevice();
+Status flushRow(int row);
+int countRows();
+
+class Teardown {
+ public:
+  ~Teardown();
+  void drain();
+  void shutdownQuietly();
+};
+
+void
+Teardown::drain()
+{
+  (void)unplugDevice();  // expect: status-discard
+  flushRow(3);  // expect: status-discard
+  // hh-lint: allow(status-discard) -- best-effort flush on drain
+  (void)flushRow(4);
+  (void)countRows();  // int result: not a Status discard
+  if (flushRow(5).ok()) {
+    return;
+  }
+}
+
+Teardown::~Teardown()
+{
+  (void)flushRow(9);  // expect: status-discard
+}
+
+void
+Teardown::shutdownQuietly()
+{
+  try {
+    drain();
+  } catch (...) {
+    (void)unplugDevice();  // expect: status-discard
+  }
+}

@@ -136,6 +136,7 @@ TEST(Rng, UniformInUnitInterval)
         const double u = rng.uniform();
         ASSERT_GE(u, 0.0);
         ASSERT_LT(u, 1.0);
+        // hh-lint: allow(float-accumulation) -- fixed-order serial sum
         sum += u;
     }
     EXPECT_NEAR(sum / 10'000, 0.5, 0.02);

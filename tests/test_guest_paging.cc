@@ -153,7 +153,7 @@ TEST_F(GuestPagingTest, WalkChargesGuestMemoryTime)
     ASSERT_TRUE(mmu->mapAnonymous(gva, kPageSize,
                                   kVirtioMemRegionStart).ok());
     const base::SimTime before = clock.now();
-    (void)mmu->translate(gva);
+    EXPECT_TRUE(mmu->translate(gva).ok());
     EXPECT_GT(clock.now(), before);
 }
 

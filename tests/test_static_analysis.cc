@@ -43,14 +43,28 @@ using hh::base::MutexLock;
 using hh::base::ThreadPool;
 
 int
-runCommand(const std::string &args)
+runTool(const std::string &tool, const std::string &args)
 {
     const std::string cmd = std::string(HH_PYTHON) + " " + HH_REPO_ROOT
-        + "/tools/hh_lint.py " + args;
+        + "/tools/" + tool + " " + args;
     const int raw = std::system(cmd.c_str());
     if (raw == -1 || !WIFEXITED(raw))
         return -1;
     return WEXITSTATUS(raw);
+}
+
+int
+runCommand(const std::string &args)
+{
+    return runTool("hh_lint.py", args);
+}
+
+int
+runAnalyze(const std::string &args)
+{
+    // The builtin frontend is hermetic (no libclang); the CI
+    // ast-analysis leg re-runs the same commands with --frontend=clang.
+    return runTool("hh_analyze.py", "--frontend=builtin " + args);
 }
 
 // Every rule must fire exactly where its fixture's `// expect:`
@@ -73,6 +87,37 @@ TEST(HhLint, TreeIsClean)
 TEST(HhLint, ListRulesExits0)
 {
     EXPECT_EQ(0, runCommand("--list-rules"));
+}
+
+// Every AST rule must fire exactly where its fixture's `// expect:`
+// markers say, and the paired clean fixtures must stay silent.
+TEST(HhAnalyze, SelfTestFixturesFireEveryRule)
+{
+    EXPECT_EQ(0, runAnalyze(std::string("--self-test ") + HH_REPO_ROOT
+                            + "/tests/analyze_fixtures"));
+}
+
+// The real tree stays at zero unwaived AST findings.
+TEST(HhAnalyze, TreeIsClean)
+{
+    EXPECT_EQ(0, runAnalyze(std::string("--config ") + HH_REPO_ROOT
+                            + "/.hh-lint.toml"));
+}
+
+TEST(HhAnalyze, ListRulesExits0)
+{
+    EXPECT_EQ(0, runAnalyze("--list-rules"));
+}
+
+// A bogus --build-dir must be a usage error (exit 2) for the clang
+// frontend, not a silent fallback; the builtin frontend ignores it.
+TEST(HhAnalyze, MissingCompileCommandsIsAUsageError)
+{
+    const int code = runTool(
+        "hh_analyze.py",
+        "--frontend=clang --build-dir /nonexistent-build-dir "
+        "2>/dev/null");
+    EXPECT_EQ(2, code);
 }
 
 // The annotation macros must be inert decoration at runtime: a

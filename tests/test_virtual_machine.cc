@@ -209,6 +209,7 @@ TEST_F(VmTest, TeardownLeavesNoAllocatedFrames)
         VirtualMachine machine(*dram, *buddy, smallConfig(), 1);
         // Exercise everything that allocates host memory.
         (void)machine.execute(kVirtioMemRegionStart);
+        // hh-lint: allow(status-discard) -- only the allocation side effect matters for the leak check
         (void)machine.iommuMap(0, IoVirtAddr(4_GiB), GuestPhysAddr(0));
         machine.memDriver().setSuppressAutoPlug(true);
         (void)machine.memDriver().unplugSpecific(

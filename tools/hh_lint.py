@@ -91,6 +91,50 @@ RULES = {
     "bad-waiver": "hh-lint waiver without a `-- justification`",
 }
 
+# Stable rule identifiers for the shared machine-readable report format
+# (REPORT_SCHEMA below). IDs are append-only: a retired rule's ID is
+# never reused, so downstream consumers can key on them forever.
+RULE_IDS = {
+    "raw-rand": "HHL001",
+    "wall-clock": "HHL002",
+    "unordered-iteration": "HHL003",
+    "float-accumulation": "HHL004",
+    "missing-nodiscard": "HHL005",
+    "naked-new": "HHL006",
+    "fault-site": "HHL007",
+    "snapshot-version": "HHL008",
+    "no-deep-world-copy": "HHL009",
+    "shard-merge-only": "HHL010",
+    "bad-waiver": "HHL011",
+}
+
+# Rules owned by the AST analyzer (tools/hh_analyze.py). They share
+# hh-lint's waiver syntax and the [rules.*] config namespace, so the
+# waiver parser and config loader must accept them; hh-lint itself
+# never checks them.
+ANALYZER_RULES = (
+    "snapshot-field-coverage",
+    "determinism-taint",
+    "status-discard",
+    "guarded-field-completeness",
+)
+
+# Version of the JSON report envelope shared by hh-lint and hh-analyze;
+# one CI step can merge both reports because `schema`, `tool`, and the
+# per-finding fields line up.
+REPORT_SCHEMA = 2
+
+
+def report_payload(tool, findings, rule_ids):
+    """The shared machine-readable report envelope."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "tool": tool,
+        "findings": [{"file": f.path, "line": f.line, "rule": f.rule,
+                      "id": rule_ids.get(f.rule, "HHX000"),
+                      "message": f.message} for f in findings],
+    }
+
 WAIVER_RE = re.compile(
     r"//\s*hh-lint:\s*allow\(([^)]*)\)(?:\s*--\s*(\S[^\n]*))?")
 EXPECT_RE = re.compile(r"//\s*expect:\s*([\w\-, ]+)")
@@ -164,6 +208,11 @@ def strip_code(text):
             chunk = text[i:j + 2]
             out.append("".join(ch if ch == "\n" else " " for ch in chunk))
             i = j + 2
+        elif c == "'" and i > 0 and (text[i - 1].isalnum()
+                                     or text[i - 1] == "_"):
+            # C++14 digit separator (0x20'1234), not a char literal.
+            out.append(c)
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
@@ -205,7 +254,7 @@ def parse_waivers(raw_lines):
             continue
         rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
         justified = bool(m.group(2))
-        unknown = rules - set(RULES)
+        unknown = rules - set(RULES) - set(ANALYZER_RULES)
         if unknown:
             bad.append(Finding(
                 "?", idx, "bad-waiver",
@@ -447,7 +496,7 @@ def load_config(path):
         if key in lint:
             defaults[key] = list(lint[key])
     for rule, table in data.get("rules", {}).items():
-        if rule not in RULES:
+        if rule not in RULES and rule not in ANALYZER_RULES:
             print(f"hh-lint: config names unknown rule '{rule}'",
                   file=sys.stderr)
             sys.exit(2)
@@ -712,16 +761,15 @@ def main(argv):
     findings = run_lint(paths, config, repo_root)
     findings.sort(key=Finding.key)
 
-    as_json = [{"file": f.path, "line": f.line, "rule": f.rule,
-                "message": f.message} for f in findings]
+    payload = report_payload("hh-lint", findings, RULE_IDS)
     if args.format == "json":
-        print(json.dumps(as_json, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         for f in findings:
             print(f)
         print(f"hh-lint: {len(findings)} finding(s)")
     if args.report:
-        Path(args.report).write_text(json.dumps(as_json, indent=2) + "\n")
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
     return 1 if findings else 0
 
 
