@@ -12,6 +12,7 @@
  *   hh::virtio   -- virtio-mem and virtio-balloon
  *   hh::vm       -- a guest VM and its guest-facing operations
  *   hh::sys      -- host assembly and the S1/S2/S3 presets
+ *   hh::mitigate -- pluggable defenses and the evaluation matrix
  *   hh::attack   -- profiling, Page Steering, exploitation
  *   hh::snapshot -- crash-safe snapshots and campaign checkpoints
  *   hh::shard    -- sharded multi-process campaign sweeps
@@ -51,6 +52,8 @@
 #include "iommu/viommu.h"
 #include "kvm/ept.h"
 #include "kvm/mmu.h"
+#include "mitigate/defense.h"
+#include "mitigate/matrix.h"
 #include "mm/buddy_allocator.h"
 #include "mm/page.h"
 #include "shard/shard.h"

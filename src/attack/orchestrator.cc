@@ -8,6 +8,7 @@
 #include "base/log.h"
 #include "base/parallel.h"
 #include "base/rng.h"
+#include "mitigate/defense.h"
 #include "snapshot/snapshot_format.h"
 
 namespace hh::attack {
@@ -493,12 +494,17 @@ HyperHammerAttack::campaignFingerprint() const
     w.u64(vmCfg.virtioMemPlugged);
     w.u32(vmCfg.passthroughDevices);
     w.boolean(vmCfg.balloon);
+    w.boolean(vmCfg.quarantine.enabled);
+    w.u64(vmCfg.quarantine.toleranceSubBlocks);
+    w.u64(vmCfg.quarantine.graceRequests);
+    w.u64(vmCfg.quarantine.windowRequests);
     w.u32(cfg.bitsPerAttempt);
     w.u64(cfg.sprayBytes);
     w.u32(cfg.maxAttempts);
     w.u32(cfg.maxPhaseRetries);
     w.u64(cfg.retryBackoff);
     w.u32(cfg.reprofileAfterEmpty);
+    w.boolean(cfg.exploit.combinedHammer);
     // The host-physical profile folds in every remaining tunable that
     // shaped it (profiler config, DRAM fault map, boot noise), so the
     // fingerprint changes whenever trial outcomes could.
@@ -512,6 +518,12 @@ HyperHammerAttack::campaignFingerprint() const
         for (HostPhysAddr hpa : bit.aggressorHpas)
             w.u64(hpa.value());
     }
+    // The defense stack is part of the campaign identity: trials run
+    // against a defended world, so outcomes are only reusable when the
+    // same defenses (with the same knobs) were active.
+    w.boolean(defenses != nullptr);
+    if (defenses != nullptr)
+        defenses->fingerprint(w);
     return w.fingerprint();
 }
 
@@ -526,6 +538,12 @@ HyperHammerAttack::saveCheckpoint(
     w.u64(outcomes.size());
     for (const AttemptOutcome &outcome : outcomes)
         writeOutcome(w, outcome);
+    // v4: the defense-state block. The fingerprint pins the defense
+    // *configuration*; this block carries the stack's state so a
+    // resumed campaign restores exactly the defended world it left.
+    w.boolean(defenses != nullptr);
+    if (defenses != nullptr)
+        defenses->saveState(w);
     // Keep the previous checkpoint as the fallback file; the rename
     // fails harmlessly when this is the first checkpoint.
     const std::string prev = path + snapshot::kCheckpointPrevSuffix;
@@ -571,8 +589,29 @@ HyperHammerAttack::loadCheckpoint(const std::string &path,
         outcomes.reserve(n);
         for (uint64_t i = 0; i < n && r.ok(); ++i)
             outcomes.push_back(readOutcome(r));
-        if (!r.ok() || !r.atEnd()) {
+        if (!r.ok()) {
             base::warn("checkpoint '%s': malformed outcome records",
+                       file.c_str());
+            return base::ErrorCode::InvalidArgument;
+        }
+        // Defense-state block: attachment must agree (a defended
+        // checkpoint never resumes undefended, or vice versa), and an
+        // attached stack restores its own state.
+        const bool stored_defended = r.boolean();
+        if (!r.ok() || stored_defended != (defenses != nullptr)) {
+            base::warn("checkpoint '%s': defense attachment mismatch "
+                       "(stored %d, campaign %d); ignoring",
+                       file.c_str(), stored_defended ? 1 : 0,
+                       defenses != nullptr ? 1 : 0);
+            return base::ErrorCode::InvalidArgument;
+        }
+        if (defenses != nullptr) {
+            if (const base::Status loaded = defenses->loadState(r);
+                !loaded.ok())
+                return loaded.error();
+        }
+        if (!r.ok() || !r.atEnd()) {
+            base::warn("checkpoint '%s': malformed defense block",
                        file.c_str());
             return base::ErrorCode::InvalidArgument;
         }

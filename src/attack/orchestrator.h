@@ -27,6 +27,10 @@
 #include "snapshot/checkpoint_policy.h"
 #include "sys/host_system.h"
 
+namespace hh::mitigate {
+class DefenseSet;
+} // namespace hh::mitigate
+
 namespace hh::attack {
 
 /** Whole-attack tunables (defaults follow Section 5.3.2). */
@@ -304,11 +308,32 @@ class HyperHammerAttack
     /** The reusable host-physical profile (after profilePhase()). */
     const std::vector<HostVulnBit> &hostProfile() const { return bits; }
 
+    /**
+     * Attach the defense stack this campaign runs against (null
+     * detaches). The orchestrator does not apply defenses -- their
+     * config transforms act before host construction -- but an
+     * attached stack becomes part of the campaign identity: the
+     * fingerprint covers its knobs, and checkpoints carry its state,
+     * so outcomes recorded under one defense configuration can never
+     * resume into another. The caller keeps ownership; the stack must
+     * outlive the campaign.
+     */
+    void
+    attachDefenses(mitigate::DefenseSet *defense_set)
+    {
+        defenses = defense_set;
+    }
+
+    /** The attached defense stack; null when undefended. */
+    mitigate::DefenseSet *attachedDefenses() const { return defenses; }
+
   private:
     sys::HostSystem &host;
     vm::VmConfig vmCfg;
     dram::AddressMapping mapping;
     AttackConfig cfg;
+    /** Borrowed defense stack; travels via fingerprint + checkpoint. */
+    mitigate::DefenseSet *defenses = nullptr;
 
     std::vector<HostVulnBit> bits;
     Pfn secretFrame = kInvalidPfn;

@@ -22,6 +22,13 @@ struct EccConfig
 {
     /** Master switch; disabled reproduces the paper's DIMMs. */
     bool enabled = false;
+    /**
+     * Bits correctable per 64-bit word. 1 is SEC-DED (commodity server
+     * DIMMs); 2 models chipkill-style DEC-TED codes. correctBits + 1
+     * flips are detected (machine check); anything beyond that may
+     * escape as a miscorrection. The mitigation matrix sweeps this.
+     */
+    uint32_t correctBits = 1;
 };
 
 /** Outcome of ECC evaluation for one 64-bit word in one hammer burst. */
@@ -48,9 +55,9 @@ class EccModel
     {
         if (!cfg.enabled)
             return EccOutcome::NoEcc;
-        if (flips_in_word <= 1)
+        if (flips_in_word <= cfg.correctBits)
             return EccOutcome::Corrected;
-        if (flips_in_word == 2)
+        if (flips_in_word == cfg.correctBits + 1)
             return EccOutcome::Detected;
         return EccOutcome::Uncorrectable;
     }

@@ -1,0 +1,415 @@
+#include "defense.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace hh::mitigate {
+
+namespace {
+
+/**
+ * Host-side page budget the kernel-ish partition must hold: the boot
+ * noise population, double the churn working set, and 48 order-9
+ * blocks of headroom (createVm can hold back up to 47 movable
+ * page-cache blocks, and the EPT/IOPT sprays draw order-0 pages), all
+ * with a 25% slack so bootHost() never lands on an OOM fatal.
+ */
+uint64_t
+noiseReservePages(const sys::SystemConfig &cfg)
+{
+    const sys::NoiseConfig &noise = cfg.noise;
+    return (noise.kernelResidentPages + noise.unmovableFreePages
+            + noise.pageCachePages + noise.churnPagesPerTick * 2
+            + 48 * kPagesPerHugePage)
+        * 5 / 4;
+}
+
+} // namespace
+
+void
+Defense::saveState(base::ArchiveWriter &w) const
+{
+    w.u64(ovh.reservedBytes);
+    w.f64(ovh.slowdownFactor);
+    w.u64(ovh.nackedRequests);
+}
+
+base::Status
+Defense::loadState(base::ArchiveReader &r)
+{
+    ovh.reservedBytes = r.u64();
+    ovh.slowdownFactor = r.f64();
+    ovh.nackedRequests = r.u64();
+    return r.status();
+}
+
+void
+Defense::fingerprint(base::ArchiveWriter &w) const
+{
+    w.str(name());
+    saveState(w);
+}
+
+// --- SilozDomains ---------------------------------------------------
+
+uint64_t
+SilozDomains::reservePages(const sys::SystemConfig &cfg) const
+{
+    if (hostReserveBytes != 0)
+        return hostReserveBytes / kPageSize;
+    return noiseReservePages(cfg);
+}
+
+void
+SilozDomains::applyHostConfig(sys::SystemConfig &cfg) const
+{
+    const uint64_t total_pages = cfg.dram.totalBytes / kPageSize;
+    // A guard must cover whole DRAM rows: any PFN-adjacent spill-over
+    // from hammering sits within guardRows row stripes of the
+    // aggressor, so guardRows stripes of never-allocated frames make
+    // cross-domain disturbance physically impossible.
+    const uint64_t guard = static_cast<uint64_t>(guardRows)
+        * (cfg.dram.mapping.rowStripeBytes() / kPageSize);
+    const uint64_t reserve = reservePages(cfg);
+    const uint64_t ept_pages =
+        std::max<uint64_t>(eptDomainBytes / kPageSize, guard + 1);
+
+    mm::DomainLayout layout;
+    layout.domains.push_back({ept_pages, mm::DomainClass::Ept, guard});
+    layout.domains.push_back({reserve, mm::DomainClass::Kernel, guard});
+    const unsigned n_guest = std::max(1u, guestDomains);
+    const uint64_t used = ept_pages + reserve;
+    const uint64_t rest = total_pages > used ? total_pages - used : 0;
+    for (unsigned i = 0; i + 1 < n_guest; ++i)
+        layout.domains.push_back(
+            {rest / n_guest, mm::DomainClass::Guest, guard});
+    // The final domain has no right-hand neighbour to guard against.
+    layout.domains.push_back({0, mm::DomainClass::Guest, 0});
+    cfg.domains = layout;
+}
+
+base::Status
+SilozDomains::configure(sys::HostSystem &host)
+{
+    const size_t expected = 2 + std::max(1u, guestDomains);
+    if (host.buddy().domainCount() != expected) {
+        base::warn("siloz: host has %zu domains, expected %zu",
+                   host.buddy().domainCount(), expected);
+        return base::ErrorCode::InvalidArgument;
+    }
+    ovh.reservedBytes = host.buddy().guardPageCount() * kPageSize;
+    return base::Status::success();
+}
+
+void
+SilozDomains::saveState(base::ArchiveWriter &w) const
+{
+    Defense::saveState(w);
+    w.u64(hostReserveBytes);
+    w.u64(eptDomainBytes);
+    w.u32(guestDomains);
+    w.u32(guardRows);
+}
+
+base::Status
+SilozDomains::loadState(base::ArchiveReader &r)
+{
+    if (const base::Status base_state = Defense::loadState(r);
+        !base_state.ok())
+        return base_state;
+    hostReserveBytes = r.u64();
+    eptDomainBytes = r.u64();
+    guestDomains = r.u32();
+    guardRows = r.u32();
+    return r.status();
+}
+
+// --- VirtioQuarantine -----------------------------------------------
+
+void
+VirtioQuarantine::applyVmConfig(vm::VmConfig &cfg) const
+{
+    cfg.quarantine.enabled = true;
+    cfg.quarantine.toleranceSubBlocks = toleranceSubBlocks;
+    cfg.quarantine.graceRequests = graceRequests;
+    cfg.quarantine.windowRequests = windowRequests;
+}
+
+void
+VirtioQuarantine::saveState(base::ArchiveWriter &w) const
+{
+    Defense::saveState(w);
+    w.u64(toleranceSubBlocks);
+    w.u64(graceRequests);
+    w.u64(windowRequests);
+}
+
+base::Status
+VirtioQuarantine::loadState(base::ArchiveReader &r)
+{
+    if (const base::Status base_state = Defense::loadState(r);
+        !base_state.ok())
+        return base_state;
+    toleranceSubBlocks = r.u64();
+    graceRequests = r.u64();
+    windowRequests = r.u64();
+    return r.status();
+}
+
+// --- TrrEccSweep ----------------------------------------------------
+
+void
+TrrEccSweep::applyHostConfig(sys::SystemConfig &cfg) const
+{
+    cfg.dram.trr.enabled = trrEnabled;
+    cfg.dram.trr.trackerCapacity = trackerCapacity;
+    cfg.dram.trr.probabilisticOverflow = probabilisticOverflow;
+    cfg.dram.ecc.enabled = eccEnabled;
+    cfg.dram.ecc.correctBits = eccCorrectBits;
+}
+
+base::Status
+TrrEccSweep::configure(sys::HostSystem &host)
+{
+    (void)host;
+    // Refresh-management cost grows with the sampler depth; ECC adds
+    // a flat check-bit penalty. Estimates, not measurements: the cell
+    // report carries them as the defense's cost axis.
+    ovh.slowdownFactor = 1.0
+        + (trrEnabled ? 0.005 * static_cast<double>(trackerCapacity)
+                      : 0.0)
+        + (eccEnabled ? 0.02 : 0.0);
+    return base::Status::success();
+}
+
+void
+TrrEccSweep::saveState(base::ArchiveWriter &w) const
+{
+    Defense::saveState(w);
+    w.boolean(trrEnabled);
+    w.u32(trackerCapacity);
+    w.boolean(probabilisticOverflow);
+    w.boolean(eccEnabled);
+    w.u32(eccCorrectBits);
+}
+
+base::Status
+TrrEccSweep::loadState(base::ArchiveReader &r)
+{
+    if (const base::Status base_state = Defense::loadState(r);
+        !base_state.ok())
+        return base_state;
+    trrEnabled = r.boolean();
+    trackerCapacity = r.u32();
+    probabilisticOverflow = r.boolean();
+    eccEnabled = r.boolean();
+    eccCorrectBits = r.u32();
+    return r.status();
+}
+
+// --- CattPartition --------------------------------------------------
+
+void
+CattPartition::applyHostConfig(sys::SystemConfig &cfg) const
+{
+    const uint64_t total_pages = cfg.dram.totalBytes / kPageSize;
+    mm::DomainLayout layout;
+    if (!doubleOwnershipHole) {
+        // Authentic CATT: a kernel partition sized for the host's own
+        // footprint plus page-table headroom, the rest user-side. No
+        // guard rows -- CATT isolates by allocation policy alone.
+        uint64_t kernel_pages = kernelBytes / kPageSize;
+        if (kernel_pages == 0)
+            kernel_pages = noiseReservePages(cfg) + total_pages / 64;
+        layout.domains.push_back(
+            {kernel_pages, mm::DomainClass::Kernel, 0});
+        layout.domains.push_back({0, mm::DomainClass::User, 0});
+    } else {
+        // CATTmew: DMA-able guest memory is double-owned, so the
+        // guest's pinned virtio-mem blocks draw from the kernel-side
+        // pool once the user partition fills. Layout the user
+        // partition first (guest memory prefers it) and size it for
+        // the guest's ordinary boot RAM only -- one sixteenth of the
+        // host, the provisioning ratio throughout the evaluation --
+        // so the DMA-pinned plugged region, the memory CATTmew
+        // identifies as double-owned, straddles into the kernel
+        // partition, where released blocks land back on the same
+        // free lists the EPT spray allocates from.
+        uint64_t kernel_pages = kernelBytes / kPageSize;
+        if (kernel_pages == 0)
+            kernel_pages = total_pages - total_pages / 16;
+        const uint64_t user_pages = total_pages > kernel_pages
+            ? total_pages - kernel_pages
+            : total_pages / 2;
+        layout.domains.push_back(
+            {user_pages, mm::DomainClass::User, 0});
+        layout.domains.push_back({0, mm::DomainClass::KernelDma, 0});
+    }
+    cfg.domains = layout;
+}
+
+void
+CattPartition::saveState(base::ArchiveWriter &w) const
+{
+    Defense::saveState(w);
+    w.u64(kernelBytes);
+    w.boolean(doubleOwnershipHole);
+}
+
+base::Status
+CattPartition::loadState(base::ArchiveReader &r)
+{
+    if (const base::Status base_state = Defense::loadState(r);
+        !base_state.ok())
+        return base_state;
+    kernelBytes = r.u64();
+    doubleOwnershipHole = r.boolean();
+    return r.status();
+}
+
+// --- DefenseSet -----------------------------------------------------
+
+std::string
+DefenseSet::label() const
+{
+    if (stack.empty())
+        return "none";
+    std::string joined;
+    for (const auto &defense : stack) {
+        if (!joined.empty())
+            joined += "+";
+        joined += defense->name();
+    }
+    return joined;
+}
+
+void
+DefenseSet::applyHostConfig(sys::SystemConfig &cfg) const
+{
+    for (const auto &defense : stack)
+        defense->applyHostConfig(cfg);
+}
+
+void
+DefenseSet::applyVmConfig(vm::VmConfig &cfg) const
+{
+    for (const auto &defense : stack)
+        defense->applyVmConfig(cfg);
+}
+
+base::Status
+DefenseSet::configure(sys::HostSystem &host)
+{
+    for (const auto &defense : stack) {
+        if (const base::Status configured = defense->configure(host);
+            !configured.ok())
+            return configured;
+    }
+    return base::Status::success();
+}
+
+DefenseOverhead
+DefenseSet::overhead() const
+{
+    DefenseOverhead total;
+    for (const auto &defense : stack) {
+        const DefenseOverhead &one = defense->overhead();
+        total.reservedBytes += one.reservedBytes;
+        total.slowdownFactor *= one.slowdownFactor;
+        total.nackedRequests += one.nackedRequests;
+    }
+    return total;
+}
+
+void
+DefenseSet::saveState(base::ArchiveWriter &w) const
+{
+    w.u64(stack.size());
+    for (const auto &defense : stack) {
+        w.str(defense->name());
+        defense->saveState(w);
+    }
+}
+
+base::Status
+DefenseSet::loadState(base::ArchiveReader &r)
+{
+    const uint64_t stored = r.u64();
+    if (!r.ok() || stored != stack.size()) {
+        base::warn("defense set: stored %llu defenses, expected %zu",
+                   static_cast<unsigned long long>(stored),
+                   stack.size());
+        return base::ErrorCode::InvalidArgument;
+    }
+    for (const auto &defense : stack) {
+        const std::string stored_name = r.str();
+        if (!r.ok() || stored_name != defense->name()) {
+            base::warn("defense set: stored defense '%s' does not "
+                       "match attached '%s'",
+                       stored_name.c_str(), defense->name());
+            return base::ErrorCode::InvalidArgument;
+        }
+        if (const base::Status loaded = defense->loadState(r);
+            !loaded.ok())
+            return loaded;
+    }
+    return r.status();
+}
+
+void
+DefenseSet::fingerprint(base::ArchiveWriter &w) const
+{
+    w.u64(stack.size());
+    for (const auto &defense : stack)
+        defense->fingerprint(w);
+}
+
+// --- factory --------------------------------------------------------
+
+std::unique_ptr<Defense>
+makeDefense(const std::string &name)
+{
+    if (name == "siloz")
+        return std::make_unique<SilozDomains>();
+    if (name == "quarantine")
+        return std::make_unique<VirtioQuarantine>();
+    if (name == "trr-ecc")
+        return std::make_unique<TrrEccSweep>();
+    if (name == "catt")
+        return std::make_unique<CattPartition>();
+    if (name == "catt-hole") {
+        auto catt = std::make_unique<CattPartition>();
+        catt->doubleOwnershipHole = true;
+        return catt;
+    }
+    return nullptr;
+}
+
+base::Expected<DefenseSet>
+makeDefenseSet(const std::string &spec)
+{
+    DefenseSet set;
+    if (spec.empty() || spec == "none")
+        return set;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+        const size_t plus = spec.find('+', begin);
+        const std::string part = spec.substr(
+            begin, plus == std::string::npos ? std::string::npos
+                                             : plus - begin);
+        std::unique_ptr<Defense> defense = makeDefense(part);
+        if (defense == nullptr) {
+            base::warn("unknown defense '%s' in spec '%s'",
+                       part.c_str(), spec.c_str());
+            return base::ErrorCode::InvalidArgument;
+        }
+        set.add(std::move(defense));
+        if (plus == std::string::npos)
+            break;
+        begin = plus + 1;
+    }
+    return set;
+}
+
+} // namespace hh::mitigate

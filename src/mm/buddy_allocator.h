@@ -75,6 +75,23 @@ struct BuddyConfig
     /** Managed physical pages (frames [0, totalPages)). */
     uint64_t totalPages;
     PcpConfig pcp;
+    /**
+     * Isolation-domain partitioning (the mitigation layer). Empty --
+     * the default -- builds one General domain over all of memory and
+     * behaves bit-identically to the undomained allocator.
+     */
+    DomainLayout layout;
+};
+
+/** Read-only view of one isolation domain (tests, defenses, census). */
+struct DomainInfo
+{
+    Pfn start = 0;
+    /** One past the last frame, guard band included. */
+    Pfn end = 0;
+    /** Start of the guard band ([usableEnd, end) is never allocated). */
+    Pfn usableEnd = 0;
+    DomainClass cls = DomainClass::General;
 };
 
 /**
@@ -172,6 +189,22 @@ class BuddyAllocator
     /** Free-list census (the /proc/pagetypeinfo equivalent). */
     PageTypeInfo pageTypeInfo() const;
 
+    /** @name Isolation domains */
+    /// @{
+
+    /** Number of domains (1 for the undefended layout). */
+    size_t domainCount() const { return domains.size(); }
+
+    /** Geometry and class of one domain. */
+    DomainInfo domainInfo(size_t idx) const;
+
+    /** Index of the domain containing @p pfn. */
+    size_t domainIndexOf(Pfn pfn) const;
+
+    /** Total frames reserved as guard bands across all domains. */
+    uint64_t guardPageCount() const;
+    /// @}
+
     /** Current number of order-0 pages held by the PCP front-end. */
     uint64_t pcpCount() const;
 
@@ -211,29 +244,68 @@ class BuddyAllocator
         uint64_t count = 0;
     };
 
+    /**
+     * One isolation domain: a contiguous PFN range with its own free
+     * lists and PCP front-end. Per-domain PCPs are required for
+     * correctness, not just locality: a shared order-0 cache would hand
+     * pages freed in one domain to allocations another domain must not
+     * see. Free blocks never coalesce across a domain boundary (the
+     * guard band is permanently allocated, so no buddy merge can span
+     * it even when domains abut).
+     */
+    struct Domain
+    {
+        Pfn start = 0;
+        Pfn end = 0;
+        Pfn usableEnd = 0;
+        DomainClass cls = DomainClass::General;
+        /** lists[mt][order] */
+        std::array<std::array<FreeList, kMaxOrder>, kMigrateTypes>
+            lists{};
+        std::array<std::vector<Pfn>, kMigrateTypes> pcp;
+    };
+
     FrameStore frames;
-    /** lists[mt][order] */
-    std::array<std::array<FreeList, kMaxOrder>, kMigrateTypes> lists{};
+    std::vector<Domain> domains;
     uint64_t freeCount = 0;
 
-    /** PCP front-end: order-0 page stacks per migrate type. */
+    /** PCP front-end configuration, shared by every domain. */
     // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
     PcpConfig pcpCfg;
-    std::array<std::vector<Pfn>, kMigrateTypes> pcp;
+    // hh-lint: allow(snapshot-field-coverage) -- config travels via the restore fingerprint, not the payload
+    bool crossFallback = false;
     fault::FaultInjector *faultInjector = nullptr;
 
-    void listPush(MigrateType mt, unsigned order, Pfn pfn);
-    void listRemove(MigrateType mt, unsigned order, Pfn pfn);
-    Pfn listPop(MigrateType mt, unsigned order);
+    Domain &domainOf(Pfn pfn);
+    const Domain &domainOf(Pfn pfn) const;
 
-    /** Core buddy alloc (no PCP). */
-    [[nodiscard]] base::Expected<Pfn> allocCore(unsigned order, MigrateType mt);
+    void listPush(Domain &dom, MigrateType mt, unsigned order, Pfn pfn);
+    void listRemove(Domain &dom, MigrateType mt, unsigned order,
+                    Pfn pfn);
+    Pfn listPop(Domain &dom, MigrateType mt, unsigned order);
 
-    /** Core buddy free (no PCP), with coalescing. */
-    void freeCore(Pfn pfn, unsigned order, MigrateType mt);
+    /** Core buddy alloc within one domain (no PCP). */
+    [[nodiscard]] base::Expected<Pfn> allocCore(Domain &dom,
+                                                unsigned order,
+                                                MigrateType mt);
 
-    /** Steal the largest block of another migrate type. */
-    [[nodiscard]] base::Expected<Pfn> stealFallback(unsigned order, MigrateType mt);
+    /** Core buddy free (no PCP), coalescing within the domain. */
+    void freeCore(Domain &dom, Pfn pfn, unsigned order, MigrateType mt);
+
+    /** Steal the largest block of another migrate type (same domain). */
+    [[nodiscard]] base::Expected<Pfn> stealFallback(Domain &dom,
+                                                    unsigned order,
+                                                    MigrateType mt);
+
+    /** Drain one domain's PCP caches back into its buddy lists. */
+    void drainPcpDomain(Domain &dom);
+
+    /**
+     * True when @p dom should be tried for @p use on this preference
+     * pass: 0 = specific admitting domains in layout order, 1 =
+     * General domains, 2 = the cross-domain fallback over the rest.
+     */
+    static bool domainOnPass(const Domain &dom, PageUse use, int pass);
 
     void markAllocated(Pfn pfn, unsigned order, MigrateType mt,
                        PageUse use, uint16_t owner);

@@ -10,6 +10,7 @@
 #define HYPERHAMMER_MM_PAGE_H
 
 #include <cstdint>
+#include <vector>
 
 #include "base/types.h"
 
@@ -44,6 +45,7 @@ enum class PageUse : uint8_t
     EptPage,      ///< holds extended-page-table entries
     IoptPage,     ///< holds IOMMU page-table entries
     DmaBuffer,    ///< device data buffer
+    GuardRow,     ///< permanently reserved isolation guard (Siloz)
 };
 
 /** Human-readable name of a migrate type. */
@@ -51,6 +53,95 @@ const char *migrateTypeName(MigrateType mt);
 
 /** Human-readable name of a page use. */
 const char *pageUseName(PageUse use);
+
+/**
+ * Isolation-domain classes (the mitigation layer's physical
+ * partitioning policies). A domain admits an allocation when its class
+ * admits the allocation's PageUse:
+ *
+ *   - General admits everything (the undefended single-zone kernel);
+ *   - Kernel/User split the buddy system CATT-style: page tables and
+ *     other kernel state on one side, guest/DMA memory on the other;
+ *   - Ept/Guest are Siloz-style dedicated domains for EPT/IOPT pages
+ *     and per-group guest memory;
+ *   - KernelDma is the CATTmew double-ownership hole: a kernel
+ *     partition that *also* admits pinned guest/DMA memory, putting
+ *     attacker-reachable rows back next to page tables.
+ */
+enum class DomainClass : uint8_t
+{
+    General = 0,
+    Kernel,
+    User,
+    Ept,
+    Guest,
+    KernelDma,
+};
+
+/** Human-readable name of a domain class. */
+const char *domainClassName(DomainClass cls);
+
+/** True when a domain of class @p cls admits allocations of @p use. */
+constexpr bool
+classAdmits(DomainClass cls, PageUse use)
+{
+    switch (cls) {
+      case DomainClass::General:
+        return true;
+      case DomainClass::Kernel:
+        return use == PageUse::KernelData || use == PageUse::PageCache
+            || use == PageUse::EptPage || use == PageUse::IoptPage;
+      case DomainClass::User:
+      case DomainClass::Guest:
+        return use == PageUse::GuestMemory || use == PageUse::DmaBuffer;
+      case DomainClass::Ept:
+        return use == PageUse::EptPage || use == PageUse::IoptPage;
+      case DomainClass::KernelDma:
+        // The CATTmew hole: everything the kernel partition admits,
+        // plus DMA-pinned guest memory (double ownership).
+        return use == PageUse::KernelData || use == PageUse::PageCache
+            || use == PageUse::EptPage || use == PageUse::IoptPage
+            || use == PageUse::GuestMemory || use == PageUse::DmaBuffer;
+    }
+    return false;
+}
+
+/** One contiguous isolation domain carved out of physical memory. */
+struct DomainSpec
+{
+    /**
+     * Frames spanned by the domain, guard band included. Zero means
+     * "the rest of memory" (only meaningful on the final spec).
+     */
+    uint64_t pages = 0;
+    DomainClass cls = DomainClass::General;
+    /**
+     * Frames permanently reserved at the domain's tail as a RowHammer
+     * guard band: never allocated, never free, so disturbance from the
+     * last usable rows of this domain lands on sacrificial rows rather
+     * than the next domain's data.
+     */
+    uint64_t guardPages = 0;
+};
+
+/**
+ * The whole-host partitioning policy. An empty domain list is the
+ * undefended configuration: one General domain spanning all of memory,
+ * byte-identical in behaviour to the pre-domain allocator.
+ */
+struct DomainLayout
+{
+    std::vector<DomainSpec> domains;
+    /**
+     * When true, an allocation that cannot be satisfied by any
+     * admitting domain falls back to the remaining domains (soft
+     * partitioning); when false the allocation fails instead (hard
+     * isolation).
+     */
+    bool crossDomainFallback = false;
+
+    bool empty() const { return domains.empty(); }
+};
 
 /**
  * Per-frame metadata. Kept small deliberately: a 16 GB host has 4 M

@@ -49,8 +49,15 @@ constexpr uint64_t kShardMagic = 0x4848534852440a01ull;
  * a shard writes its range begin), so a shard's in-flight checkpoint
  * can never be resumed into the wrong range. Pre-shard checkpoints
  * are rejected by version.
+ *
+ * v4: the mitigation layer. The buddy allocator serializes per-domain
+ * free lists and PCP stacks (one domain in the undefended layout),
+ * the virtio-mem device appends its quarantine grace-window counters,
+ * campaign checkpoints append a defense-state block, and the host
+ * config fingerprint covers the domain layout and ECC correction
+ * strength. Pre-mitigation snapshots are rejected by version.
  */
-constexpr uint32_t kSnapshotFormatVersion = 3;
+constexpr uint32_t kSnapshotFormatVersion = 4;
 
 } // namespace hh::snapshot
 

@@ -108,6 +108,7 @@ HostSystem::HostSystem(SystemConfig config)
     dramSys->setFaultInjector(injector.get());
     mm::BuddyConfig buddy_cfg;
     buddy_cfg.totalPages = cfg.dram.totalBytes / kPageSize;
+    buddy_cfg.layout = cfg.domains;
     allocator = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
     allocator->setFaultInjector(injector.get());
     bootHost();
@@ -124,6 +125,7 @@ HostSystem::HostSystem(TemplateTag, SystemConfig config)
     dramSys = std::make_unique<dram::DramSystem>(cfg.dram, simClock);
     mm::BuddyConfig buddy_cfg;
     buddy_cfg.totalPages = cfg.dram.totalBytes / kPageSize;
+    buddy_cfg.layout = cfg.domains;
     allocator = std::make_unique<mm::BuddyAllocator>(buddy_cfg);
     dramSys->backend().freeze();
     pristineTemplate = true;
@@ -165,6 +167,8 @@ HostSystem::HostSystem(TrialTag, const HostSystem &tmpl,
     // forked fault oracle would be the wrong one.
     HH_ASSERT(tmpl.cfg.dram.totalBytes == cfg.dram.totalBytes);
     HH_ASSERT(tmpl.cfg.dram.seed == cfg.dram.seed);
+    HH_ASSERT(tmpl.cfg.domains.domains.size()
+              == cfg.domains.domains.size());
     if (!cfg.faults.empty())
         injector = std::make_unique<fault::FaultInjector>(
             cfg.faults, base::mix64(cfg.seed, cfg.faults.seed));
@@ -376,6 +380,7 @@ HostSystem::configFingerprint() const
     w.u32(cfg.dram.trr.trackerCapacity);
     w.boolean(cfg.dram.trr.probabilisticOverflow);
     w.boolean(cfg.dram.ecc.enabled);
+    w.u32(cfg.dram.ecc.correctBits);
     w.u64(cfg.noise.kernelResidentPages);
     w.u64(cfg.noise.unmovableFreePages);
     w.u64(cfg.noise.pageCachePages);
@@ -390,6 +395,13 @@ HostSystem::configFingerprint() const
         w.u64(entry.every);
         w.f64(entry.probability);
         w.u64(entry.param);
+    }
+    w.boolean(cfg.domains.crossDomainFallback);
+    w.u64(cfg.domains.domains.size());
+    for (const mm::DomainSpec &spec : cfg.domains.domains) {
+        w.u64(spec.pages);
+        w.u8(static_cast<uint8_t>(spec.cls));
+        w.u64(spec.guardPages);
     }
     return w.fingerprint();
 }

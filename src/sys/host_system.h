@@ -64,6 +64,13 @@ struct SystemConfig
      * is built and every HH_FAULT_POINT is a branch on a null pointer.
      */
     fault::FaultPlan faults;
+    /**
+     * Physical isolation domains (the mitigation layer). Empty -- the
+     * default -- is the undefended single-zone buddy allocator;
+     * defenses install Siloz/CATT-style partitionings here before the
+     * host is constructed.
+     */
+    mm::DomainLayout domains;
 
     /** Paper system S1: i3-10100 host. */
     static SystemConfig s1(uint64_t seed = 1);

@@ -144,6 +144,29 @@ VirtioMemDevice::unplugBacking(SubBlockId sb)
     devStats.releasedBlockPfns.push_back(block);
 }
 
+bool
+VirtioMemDevice::quarantineRejects(int64_t delta)
+{
+    if (!cfg.quarantine.enabled)
+        return false;
+    if (cfg.quarantine.windowRequests > 0) {
+        if (windowRequestCount >= cfg.quarantine.windowRequests) {
+            windowRequestCount = 0;
+            graceUsed = 0;
+        }
+        ++windowRequestCount;
+    }
+    if (!cfg.quarantine.suspicious(delta, requestedBytes,
+                                   pluggedBytes)) {
+        return false;
+    }
+    if (graceUsed < cfg.quarantine.graceRequests) {
+        ++graceUsed;
+        return false;
+    }
+    return true;
+}
+
 base::Status
 VirtioMemDevice::requestPlug(SubBlockId sb)
 {
@@ -152,8 +175,7 @@ VirtioMemDevice::requestPlug(SubBlockId sb)
         return base::ErrorCode::InvalidArgument;
     if (plugged[sb])
         return base::ErrorCode::Exists;
-    if (cfg.quarantine.rejects(static_cast<int64_t>(kHugePageSize),
-                               requestedBytes, pluggedBytes)) {
+    if (quarantineRejects(static_cast<int64_t>(kHugePageSize))) {
         ++devStats.nackedRequests;
         return base::ErrorCode::Denied;
     }
@@ -168,8 +190,7 @@ VirtioMemDevice::requestUnplug(SubBlockId sb)
         return base::ErrorCode::InvalidArgument;
     if (!plugged[sb])
         return base::ErrorCode::NotFound;
-    if (cfg.quarantine.rejects(-static_cast<int64_t>(kHugePageSize),
-                               requestedBytes, pluggedBytes)) {
+    if (quarantineRejects(-static_cast<int64_t>(kHugePageSize))) {
         ++devStats.nackedRequests;
         return base::ErrorCode::Denied;
     }
@@ -262,6 +283,8 @@ VirtioMemDevice::saveState(base::ArchiveWriter &w) const
     w.u64(devStats.nackedRequests);
     w.u64(devStats.deferredUnplugs);
     w.u64vec(devStats.releasedBlockPfns);
+    w.u64(graceUsed);
+    w.u64(windowRequestCount);
 }
 
 base::Status
@@ -284,6 +307,8 @@ VirtioMemDevice::loadState(base::ArchiveReader &r)
     stats.nackedRequests = r.u64();
     stats.deferredUnplugs = r.u64();
     stats.releasedBlockPfns = r.u64vec();
+    const uint64_t new_grace_used = r.u64();
+    const uint64_t new_window_count = r.u64();
     for (size_t sb = 0; sb < new_backing.size() && r.ok(); ++sb) {
         // A plugged sub-block must have in-range backing; an unplugged
         // one must not claim any (the teardown path trusts this).
@@ -302,6 +327,8 @@ VirtioMemDevice::loadState(base::ArchiveReader &r)
     pluggedBytes = new_plugged_bytes;
     requestedBytes = new_requested_bytes;
     devStats = std::move(stats);
+    graceUsed = new_grace_used;
+    windowRequestCount = new_window_count;
     return base::Status::success();
 }
 

@@ -1,0 +1,39 @@
+// hh-analyze fixture: a Defense subclass whose checkpoint coverage is
+// complete -- every tuning knob round-trips through both saveState()
+// and loadState(), including through the base-class prefix -- must
+// stay silent.
+#pragma once
+
+struct ArchiveWriter {
+  void u64(unsigned long long v);
+  void boolean(bool v);
+};
+struct ArchiveReader {
+  unsigned long long u64();
+  bool boolean();
+};
+
+class Defense {
+ public:
+  virtual ~Defense() = default;
+  virtual void saveState(ArchiveWriter& ar) const;
+  virtual void loadState(ArchiveReader& ar);
+};
+
+class TidyPartition : public Defense {
+ public:
+  void saveState(ArchiveWriter& ar) const override {
+    Defense::saveState(ar);
+    ar.u64(kernelBytes_);
+    ar.boolean(holeOpen_);
+  }
+  void loadState(ArchiveReader& ar) override {
+    Defense::loadState(ar);
+    kernelBytes_ = ar.u64();
+    holeOpen_ = ar.boolean();
+  }
+
+ private:
+  unsigned long long kernelBytes_ = 0;
+  bool holeOpen_ = false;
+};

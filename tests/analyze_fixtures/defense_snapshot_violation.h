@@ -1,0 +1,44 @@
+// hh-analyze fixture: Defense subclasses carry tuning state that
+// rides in every checkpoint; a knob persisted in one direction only
+// makes a resumed campaign silently diverge from the original.
+// Self-contained on purpose: the frontend parses fixtures standalone,
+// outside compile_commands.json.
+#pragma once
+
+struct ArchiveWriter {
+  void u64(unsigned long long v);
+  void boolean(bool v);
+};
+struct ArchiveReader {
+  unsigned long long u64();
+  bool boolean();
+};
+
+class Defense {
+ public:
+  virtual ~Defense() = default;
+  virtual void saveState(ArchiveWriter& ar) const;
+  virtual void loadState(ArchiveReader& ar);
+};
+
+// A partitioning defense that persists its partition size but forgets
+// the double-ownership-hole flag (a checkpoint taken with the hole
+// open would resume with it closed) and restores a NACK counter it
+// never saved.
+class HolePartition : public Defense {
+ public:
+  void saveState(ArchiveWriter& ar) const override {
+    Defense::saveState(ar);
+    ar.u64(kernelBytes_);
+  }
+  void loadState(ArchiveReader& ar) override {
+    Defense::loadState(ar);
+    kernelBytes_ = ar.u64();
+    nacked_ = ar.u64();
+  }
+
+ private:
+  unsigned long long kernelBytes_ = 0;
+  bool holeOpen_ = false;          // expect: snapshot-field-coverage
+  unsigned long long nacked_ = 0;  // expect: snapshot-field-coverage
+};

@@ -3,7 +3,8 @@
  * Cross-module property sweeps: determinism of the whole DRAM path,
  * profiler correctness on both CPU presets, EPT translation
  * roundtrips under random mapping mixes, virtio-mem accounting under
- * repeated resize cycles, and steering under S3's background churn.
+ * repeated resize cycles, steering under S3's background churn, and
+ * mitigation monotonicity across a seed subsample.
  */
 
 #include <gtest/gtest.h>
@@ -441,6 +442,68 @@ TEST(SeedSweep, AttackSuccessIsMonotoneInExploitableCells)
     EXPECT_LE(success_low, success_high)
         << "success must be monotone in the exploitable-cell count";
     EXPECT_GT(cells_high, 0u);
+}
+
+TEST(SeedSweep, DefendedProgressNeverExceedsBaseline)
+{
+    // Mitigation monotonicity as a seed-sweep property: across a seed
+    // subsample, no defense ever increases the attack's aggregate
+    // graded progress, and the structural guarantees hold on every
+    // seed -- quarantine leaves nothing for the spray to reclaim, and
+    // Siloz keeps flips out of the sprayed mappings entirely. The
+    // pinned-seed depth checks live in test_mitigation; this sweep
+    // guards against a geometry where a defense backfires.
+    const std::vector<uint64_t> seeds = sweepSeeds();
+    uint64_t base_released = 0, base_flips = 0, base_cands = 0;
+    uint64_t quar_released = 0, quar_flips = 0, quar_cands = 0;
+    uint64_t silz_released = 0, silz_flips = 0, silz_cands = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        mitigate::MatrixSpec spec;
+        sys::SystemConfig host =
+            sys::SystemConfig::s1(seeds[i]).withMemory(1_GiB);
+        host.dram.fault.weakCellsPerRow *= 8.0;
+        spec.hosts = {host};
+        spec.vm.bootMemBytes = 64_MiB;
+        spec.vm.virtioMemRegionSize = 1_GiB;
+        spec.vm.virtioMemPlugged = 640_MiB;
+        spec.attack.steering.exhaustMappings = 2'500;
+        spec.attack.profiler.stopAfterExploitable = 0;
+        spec.trials = 12;
+        spec.threads = 4;
+        spec.defenses = {"none", "quarantine", "siloz"};
+        auto matrix = mitigate::runMatrix(spec);
+        ASSERT_TRUE(matrix.ok()) << "seed " << seeds[i];
+
+        const mitigate::MatrixCell *base =
+            matrix->find("S1", "none", "pairwise");
+        const mitigate::MatrixCell *quar =
+            matrix->find("S1", "quarantine", "pairwise");
+        const mitigate::MatrixCell *silz =
+            matrix->find("S1", "siloz", "pairwise");
+        ASSERT_NE(base, nullptr);
+        ASSERT_NE(quar, nullptr);
+        ASSERT_NE(silz, nullptr);
+        // Structural, so they must hold seed by seed.
+        EXPECT_EQ(quar->releasedSubBlocks, 0u)
+            << "seed " << seeds[i];
+        EXPECT_EQ(silz->flippedMappings, 0u) << "seed " << seeds[i];
+        base_released += base->releasedSubBlocks;
+        base_flips += base->flippedMappings;
+        base_cands += base->epteCandidates;
+        quar_released += quar->releasedSubBlocks;
+        quar_flips += quar->flippedMappings;
+        quar_cands += quar->epteCandidates;
+        silz_released += silz->releasedSubBlocks;
+        silz_flips += silz->flippedMappings;
+        silz_cands += silz->epteCandidates;
+    }
+    EXPECT_GT(base_released, 0u); // the baseline attack progressed
+    EXPECT_LE(quar_released, base_released);
+    EXPECT_LE(quar_flips, base_flips);
+    EXPECT_LE(quar_cands, base_cands);
+    EXPECT_LE(silz_released, base_released);
+    EXPECT_LE(silz_flips, base_flips);
+    EXPECT_LE(silz_cands, base_cands);
 }
 
 } // namespace

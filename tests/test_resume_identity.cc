@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "mitigate/defense.h"
 #include "snapshot/resume_identity.h"
 #include "sys/host_system.h"
 
@@ -152,6 +153,36 @@ INSTANTIATE_TEST_SUITE_P(
         return "seed" + std::to_string(std::get<0>(info.param)) +
             "_threads" + std::to_string(std::get<1>(info.param));
     });
+
+// Kill/resume identity on a defended world: SilozDomains installs a
+// multi-domain buddy layout with pinned guard rows, so this cell
+// drives the domained allocator's state through the whole
+// checkpoint/restore pipeline -- the snapshot must reproduce domain
+// free lists and guard reservations bit for bit.
+TEST(ResumeIdentityDefended, SilozWorldKillResumeIsBitwiseIdentical)
+{
+    mitigate::SilozDomains siloz;
+    sys::SystemConfig host_cfg = hostConfig(3);
+    siloz.applyHostConfig(host_cfg);
+
+    snapshot::ResumeIdentityOptions options;
+    options.attempts = 4;
+    options.threads = 2;
+    options.checkpointEvery = 1;
+    options.killAfterTrials = 2;
+    options.checkpointPath =
+        ::testing::TempDir() + "resume_identity_siloz.ckpt";
+
+    const snapshot::ResumeIdentityReport report =
+        snapshot::verifyResumeIdentity(host_cfg, vmConfig(),
+                                       host_cfg.dram.mapping,
+                                       attackConfig(), options);
+    std::string mismatch_list;
+    for (const std::string &field : report.mismatches)
+        mismatch_list += " " + field;
+    EXPECT_TRUE(report.identical)
+        << "mismatched fields:" << mismatch_list;
+}
 
 } // namespace
 } // namespace hh

@@ -20,6 +20,7 @@
 
 #include "attack/orchestrator.h"
 #include "base/archive.h"
+#include "mitigate/defense.h"
 #include "snapshot/checkpoint_policy.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/snapshot_format.h"
@@ -552,6 +553,168 @@ TEST(Checkpoint, KillResumeMatchesStraightRunAndSurvivesCorruption)
     }
     EXPECT_TRUE(straight.stats.attemptSeconds.bitwiseEqual(
         resumed.stats.attemptSeconds));
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+}
+
+// --- defense persistence --------------------------------------------------
+
+std::vector<uint8_t>
+defenseSetBytes(const mitigate::DefenseSet &set)
+{
+    base::ArchiveWriter w;
+    set.saveState(w);
+    return w.buffer();
+}
+
+TEST(DefenseSnapshot, EveryStackRoundTripsByteIdentically)
+{
+    for (const char *spec :
+         {"quarantine", "siloz", "trr-ecc", "catt", "catt-hole",
+          "siloz+trr-ecc", "quarantine+catt"}) {
+        auto saved = mitigate::makeDefenseSet(spec);
+        ASSERT_TRUE(saved.ok()) << spec;
+        const std::vector<uint8_t> bytes = defenseSetBytes(*saved);
+
+        auto restored = mitigate::makeDefenseSet(spec);
+        ASSERT_TRUE(restored.ok()) << spec;
+        base::ArchiveReader r(bytes);
+        ASSERT_TRUE(restored->loadState(r).ok()) << spec;
+        EXPECT_TRUE(r.atEnd()) << spec;
+        EXPECT_EQ(defenseSetBytes(*restored), bytes) << spec;
+    }
+}
+
+TEST(DefenseSnapshot, TunedKnobsSurviveTheRoundTrip)
+{
+    mitigate::CattPartition tuned;
+    tuned.kernelBytes = 123_MiB;
+    tuned.doubleOwnershipHole = true;
+    base::ArchiveWriter w;
+    tuned.saveState(w);
+
+    mitigate::CattPartition fresh;
+    base::ArchiveReader r(w.buffer());
+    ASSERT_TRUE(fresh.loadState(r).ok());
+    EXPECT_EQ(fresh.kernelBytes, 123_MiB);
+    EXPECT_TRUE(fresh.doubleOwnershipHole);
+    base::ArchiveWriter w2;
+    fresh.saveState(w2);
+    EXPECT_EQ(w.buffer(), w2.buffer());
+}
+
+TEST(DefenseSnapshot, CorruptionMatrixRejectsEveryTruncation)
+{
+    // Truncation at every byte boundary must be rejected -- the
+    // sticky-failure reader guarantees no prefix parses as a
+    // complete stack -- and a failed load must not corrupt the
+    // receiving stack.
+    auto set = mitigate::makeDefenseSet("siloz+trr-ecc");
+    ASSERT_TRUE(set.ok());
+    const std::vector<uint8_t> bytes = defenseSetBytes(*set);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        auto victim = mitigate::makeDefenseSet("siloz+trr-ecc");
+        ASSERT_TRUE(victim.ok());
+        std::vector<uint8_t> prefix(bytes.begin(),
+                                    bytes.begin() + len);
+        base::ArchiveReader r(prefix);
+        EXPECT_FALSE(victim->loadState(r).ok()) << "prefix " << len;
+    }
+}
+
+TEST(DefenseSnapshot, ForeignStackStateRejected)
+{
+    // A payload whose defense names or stack length do not match the
+    // receiving stack must be refused: resuming a siloz campaign from
+    // a catt checkpoint would silently evaluate the wrong defense.
+    auto siloz = mitigate::makeDefenseSet("siloz");
+    auto catt = mitigate::makeDefenseSet("catt");
+    auto stacked = mitigate::makeDefenseSet("siloz+trr-ecc");
+    ASSERT_TRUE(siloz.ok());
+    ASSERT_TRUE(catt.ok());
+    ASSERT_TRUE(stacked.ok());
+
+    const std::vector<uint8_t> siloz_bytes = defenseSetBytes(*siloz);
+    base::ArchiveReader into_catt(siloz_bytes);
+    EXPECT_FALSE(catt->loadState(into_catt).ok());
+
+    base::ArchiveReader into_stacked(siloz_bytes);
+    EXPECT_FALSE(stacked->loadState(into_stacked).ok());
+
+    const std::vector<uint8_t> stacked_bytes =
+        defenseSetBytes(*stacked);
+    base::ArchiveReader into_siloz(stacked_bytes);
+    EXPECT_FALSE(siloz->loadState(into_siloz).ok());
+}
+
+TEST(Checkpoint, DefenseAttachmentMismatchRejected)
+{
+    const std::string path = tempPath("campaign_defended.ckpt");
+    const std::string prev =
+        path + snapshot::kCheckpointPrevSuffix;
+    std::remove(path.c_str());
+    std::remove(prev.c_str());
+
+    auto defenses = mitigate::makeDefenseSet("quarantine");
+    ASSERT_TRUE(defenses.ok());
+    sys::SystemConfig host_cfg = campaignHost(5);
+    defenses->applyHostConfig(host_cfg);
+    vm::VmConfig vm_cfg = campaignVm();
+    defenses->applyVmConfig(vm_cfg);
+
+    // Checkpoint one trial of the defended campaign.
+    {
+        sys::HostSystem host(host_cfg);
+        attack::HyperHammerAttack attack(host, vm_cfg,
+                                         host.dram().mapping(),
+                                         campaignAttack());
+        attack.attachDefenses(&*defenses);
+        (void)attack.profilePhase();
+        snapshot::CheckpointPolicy policy;
+        policy.path = path;
+        policy.everyTrials = 1;
+        policy.stopAfterTrials = 1;
+        (void)attack.runAttempts(3, 1, policy);
+    }
+
+    // With a fresh stack of the same spec attached the checkpoint is
+    // accepted and the campaign picks up after the stored trial.
+    {
+        auto resumed_set = mitigate::makeDefenseSet("quarantine");
+        ASSERT_TRUE(resumed_set.ok());
+        sys::HostSystem host(host_cfg);
+        attack::HyperHammerAttack attack(host, vm_cfg,
+                                         host.dram().mapping(),
+                                         campaignAttack());
+        attack.attachDefenses(&*resumed_set);
+        (void)attack.profilePhase();
+        snapshot::CheckpointPolicy policy;
+        policy.path = path;
+        policy.everyTrials = 1;
+        policy.resume = true;
+        const attack::AttackResult result =
+            attack.runAttempts(2, 1, policy);
+        EXPECT_GT(result.resumedTrials, 0u);
+    }
+
+    // Resuming the same defended world WITHOUT the stack attached
+    // must start over: a defended checkpoint never resumes into an
+    // undefended campaign. (Runs last -- its campaign rewrites the
+    // checkpoint file as undefended once the resume is refused.)
+    {
+        sys::HostSystem host(host_cfg);
+        attack::HyperHammerAttack attack(host, vm_cfg,
+                                         host.dram().mapping(),
+                                         campaignAttack());
+        (void)attack.profilePhase();
+        snapshot::CheckpointPolicy policy;
+        policy.path = path;
+        policy.everyTrials = 1;
+        policy.resume = true;
+        const attack::AttackResult result =
+            attack.runAttempts(2, 1, policy);
+        EXPECT_EQ(result.resumedTrials, 0u);
+    }
     std::remove(path.c_str());
     std::remove(prev.c_str());
 }

@@ -59,6 +59,10 @@ BENCHES = {
     "BENCH_soak.json": (
         "bench_fault_soak", "--json-out=",
         ["--quick", "--trials=8", "--seed-base=1", "--intensity=0.5"]),
+    "BENCH_mitigation.json": (
+        "bench_mitigation_matrix", "--json-out=",
+        ["--quick", "--host-gib=1", "--seed=2", "--trials=16",
+         "--attacks=pairwise"]),
 }
 
 # profile -> {json file -> {metric -> direction}}. A listed file is
@@ -76,6 +80,11 @@ PROFILES = {
         "BENCH_table3.json": {"s1_trials_per_second": "higher"},
         # Soak seeds rotate nightly: rates are trended, not gated.
         "BENCH_soak.json": {},
+        # Mitigation matrix: per-cell progress counters are exact
+        # (fingerprint-stable), so correctness lives in the golden
+        # trace and the tier-2 properties; here the report feeds the
+        # cells_per_second trend only.
+        "BENCH_mitigation.json": {},
     },
 }
 

@@ -34,21 +34,26 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 # files record exactly this configuration; keep the two in sync.
 PINNED_FLAGS = ["--host-gib=1", "--seed=1", "--quick"]
 
-# (bench binary, golden file) pairs. E1 covers profiling end to end
-# (DRAM model, mapping, profiler); E3 covers steering (virtio-mem,
-# buddy placement, EPT spray).
+# (bench binary, golden file, extra flags) triples. E1 covers
+# profiling end to end (DRAM model, mapping, profiler); E3 covers
+# steering (virtio-mem, buddy placement, EPT spray); E11's --smoke
+# covers the mitigation matrix (defense transforms, sharded cells,
+# matrix fingerprint).
 TRACES = [
-    ("bench_table1_profiling", "e1_profiling_seed1.txt"),
-    ("bench_table2_page_steering", "e3_page_steering_seed1.txt"),
+    ("bench_table1_profiling", "e1_profiling_seed1.txt", []),
+    ("bench_table2_page_steering", "e3_page_steering_seed1.txt", []),
+    ("bench_mitigation_matrix", "e11_mitigation_smoke_seed1.txt",
+     ["--smoke", "--json-out=/dev/null"]),
 ]
 
 
-def run_bench(bench_dir: pathlib.Path, name: str) -> str:
+def run_bench(bench_dir: pathlib.Path, name: str,
+              extra_flags: list[str]) -> str:
     exe = bench_dir / name
     if not exe.exists():
         sys.exit(f"error: bench binary not found: {exe}")
     result = subprocess.run(
-        [str(exe), *PINNED_FLAGS],
+        [str(exe), *PINNED_FLAGS, *extra_flags],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,  # warn/info logs are not golden
         text=True,
@@ -87,8 +92,8 @@ def main() -> int:
 
     failed: list[str] = []
     diff_chunks: list[str] = []
-    for bench, golden_name in TRACES:
-        actual = run_bench(args.bench_dir, bench)
+    for bench, golden_name, extra_flags in TRACES:
+        actual = run_bench(args.bench_dir, bench, extra_flags)
         golden_path = GOLDEN_DIR / golden_name
         if args.update:
             golden_path.parent.mkdir(parents=True, exist_ok=True)
