@@ -16,6 +16,7 @@
  *   hh::attack   -- profiling, Page Steering, exploitation
  *   hh::snapshot -- crash-safe snapshots and campaign checkpoints
  *   hh::shard    -- sharded multi-process campaign sweeps
+ *   hh::dispatch -- supervised fault-tolerant sweep dispatch
  *   hh::analysis -- DRAMDig, TRRespass, report formatting
  *
  * Typical use: build a host from a preset, create a VM, and drive the
@@ -47,6 +48,9 @@
 #include "dram/ecc.h"
 #include "dram/fault_model.h"
 #include "dram/memory_backend.h"
+#include "dispatch/dispatch.h"
+#include "dispatch/supervisor.h"
+#include "dispatch/wall.h"
 #include "dram/trr.h"
 #include "fault/fault.h"
 #include "iommu/viommu.h"

@@ -664,6 +664,9 @@ HyperHammerAttack::runTrialRange(uint64_t begin, uint64_t end,
         }
     }
     range.resumedTrials = static_cast<unsigned>(outcomes.size());
+    // First heartbeat before any work: a supervising dispatcher learns
+    // the worker is alive even when trial 0 takes a full lease window.
+    snapshot::touchHeartbeat(policy.heartbeatPath, outcomes.size());
 
     // Build the canonical template world once: every trial forks it
     // in O(pages touched) instead of rebuilding a host from scratch.
@@ -707,6 +710,7 @@ HyperHammerAttack::runTrialRange(uint64_t begin, uint64_t end,
         if (rel < todo)
             first_success = done + rel;
         done += keep;
+        snapshot::touchHeartbeat(policy.heartbeatPath, done);
         if (policy.enabled()) {
             const base::Status saved =
                 saveCheckpoint(policy.path, begin, outcomes);

@@ -1,0 +1,424 @@
+#include "dispatch/dispatch.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/archive.h"
+#include "base/log.h"
+#include "base/rng.h"
+#include "snapshot/checkpoint_policy.h"
+#include "snapshot/snapshot_format.h"
+
+namespace hh::dispatch {
+
+const char *
+stateName(ShardState state)
+{
+    switch (state) {
+    case ShardState::Pending:
+        return "pending";
+    case ShardState::Leased:
+        return "leased";
+    case ShardState::Done:
+        return "done";
+    case ShardState::Retrying:
+        return "retrying";
+    case ShardState::Quarantined:
+        return "quarantined";
+    }
+    return "unknown";
+}
+
+bool
+Ledger::settled() const
+{
+    return std::all_of(jobs.begin(), jobs.end(),
+                       [](const ShardJob &job) { return job.settled(); });
+}
+
+size_t
+Ledger::quarantined() const
+{
+    return static_cast<size_t>(std::count_if(
+        jobs.begin(), jobs.end(), [](const ShardJob &job) {
+            return job.state == ShardState::Quarantined;
+        }));
+}
+
+base::Status
+saveLedger(const std::string &path, const Ledger &ledger)
+{
+    base::ArchiveWriter w;
+    w.u64(ledger.campaignFingerprint);
+    w.u64(ledger.totalTrials);
+    w.u64(ledger.jobs.size());
+    for (const ShardJob &job : ledger.jobs) {
+        w.u32(job.index);
+        w.u64(job.range.begin);
+        w.u64(job.range.end);
+        w.u8(static_cast<uint8_t>(job.state));
+        w.u32(job.attempts);
+        w.i64(job.lastFailure);
+    }
+    // Keep the previous ledger as the fallback file; the rename fails
+    // harmlessly on the first save.
+    const std::string prev = path + snapshot::kCheckpointPrevSuffix;
+    (void)std::rename(path.c_str(), prev.c_str());
+    return base::saveArchiveFile(path, snapshot::kLedgerMagic,
+                                 snapshot::kSnapshotFormatVersion,
+                                 w.buffer());
+}
+
+namespace {
+
+base::Expected<Ledger>
+loadLedgerFile(const std::string &path)
+{
+    auto loaded = base::loadArchiveFile(
+        path, snapshot::kLedgerMagic, snapshot::kSnapshotFormatVersion,
+        snapshot::kSnapshotFormatVersion);
+    if (!loaded)
+        return loaded.error();
+    base::ArchiveReader r(loaded->payload);
+    Ledger ledger;
+    ledger.campaignFingerprint = r.u64();
+    ledger.totalTrials = r.u64();
+    const uint64_t n = r.count(4 + 8 + 8 + 1 + 4 + 8);
+    ledger.jobs.reserve(n);
+    for (uint64_t i = 0; i < n && r.ok(); ++i) {
+        ShardJob job;
+        job.index = r.u32();
+        job.range.begin = r.u64();
+        job.range.end = r.u64();
+        job.state = static_cast<ShardState>(r.u8());
+        job.attempts = r.u32();
+        job.lastFailure = r.i64();
+        ledger.jobs.push_back(job);
+    }
+    if (!r.ok() || !r.atEnd())
+        return base::ErrorCode::InvalidArgument;
+    for (const ShardJob &job : ledger.jobs) {
+        if (job.state > ShardState::Quarantined
+            || job.range.begin > job.range.end
+            || job.range.end > ledger.totalTrials) {
+            base::warn("ledger '%s': inconsistent job record",
+                       path.c_str());
+            return base::ErrorCode::InvalidArgument;
+        }
+    }
+    return ledger;
+}
+
+} // namespace
+
+base::Expected<Ledger>
+loadLedger(const std::string &path)
+{
+    auto primary = loadLedgerFile(path);
+    if (primary)
+        return primary;
+    auto prev =
+        loadLedgerFile(path + snapshot::kCheckpointPrevSuffix);
+    if (prev)
+        return prev;
+    // Prefer the primary file's diagnosis (NotFound only when neither
+    // file exists at all).
+    return primary.error();
+}
+
+uint64_t
+backoffDelayMs(uint64_t campaign_fingerprint, uint32_t shard_index,
+               uint32_t attempt, const BackoffConfig &cfg)
+{
+    if (attempt == 0)
+        return 0;
+    const uint32_t doublings =
+        std::min<uint32_t>(attempt - 1, 40); // avoid shift overflow
+    uint64_t delay = cfg.baseMs;
+    for (uint32_t i = 0; i < doublings && delay < cfg.capMs; ++i)
+        delay *= 2;
+    delay = std::min(delay, cfg.capMs);
+    base::SeedSequence seq(
+        base::mix64(campaign_fingerprint, shard_index));
+    base::Rng rng = seq.stream(attempt);
+    return delay + rng.below(delay / 2 + 1);
+}
+
+// --- gap manifest (JSON) ---------------------------------------------------
+
+namespace {
+
+/** Minimal JSON string escape: the paths we write never need more. */
+void
+writeJsonString(std::FILE *f, const std::string &s)
+{
+    std::fputc('"', f);
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            std::fputc('\\', f);
+        std::fputc(c, f);
+    }
+    std::fputc('"', f);
+}
+
+/**
+ * Cursor over a gap-manifest document. The schema is fixed (we only
+ * parse files saveGapManifest wrote), so this is an exact-shape
+ * reader that tolerates arbitrary whitespace, not a general JSON
+ * parser.
+ */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(std::string text) : buf(std::move(text)) {}
+
+    bool ok() const { return !failed; }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos < buf.size() && buf[pos] == c)
+            ++pos;
+        else
+            failed = true;
+    }
+
+    /** Consume `"name":` */
+    void
+    key(const char *name)
+    {
+        std::string got = string();
+        if (got != name)
+            failed = true;
+        expect(':');
+    }
+
+    std::string
+    string()
+    {
+        skipWs();
+        std::string out;
+        if (pos >= buf.size() || buf[pos] != '"') {
+            failed = true;
+            return out;
+        }
+        ++pos;
+        while (pos < buf.size() && buf[pos] != '"') {
+            if (buf[pos] == '\\' && pos + 1 < buf.size())
+                ++pos;
+            out.push_back(buf[pos++]);
+        }
+        if (pos >= buf.size())
+            failed = true;
+        else
+            ++pos; // closing quote
+        return out;
+    }
+
+    uint64_t
+    u64()
+    {
+        skipWs();
+        char *end = nullptr;
+        const uint64_t v =
+            std::strtoull(buf.c_str() + pos, &end, 10);
+        if (end == buf.c_str() + pos)
+            failed = true;
+        else
+            pos = static_cast<size_t>(end - buf.c_str());
+        return v;
+    }
+
+    uint64_t
+    hexU64()
+    {
+        const std::string s = string();
+        if (failed)
+            return 0;
+        char *end = nullptr;
+        const uint64_t v = std::strtoull(s.c_str(), &end, 16);
+        if (end != s.c_str() + s.size() || s.empty())
+            failed = true;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        skipWs();
+        char *end = nullptr;
+        const double v = std::strtod(buf.c_str() + pos, &end);
+        if (end == buf.c_str() + pos)
+            failed = true;
+        else
+            pos = static_cast<size_t>(end - buf.c_str());
+        return v;
+    }
+
+    /** True and consumed when the next token is @p c. */
+    bool
+    peekConsume(char c)
+    {
+        skipWs();
+        if (pos < buf.size() && buf[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < buf.size()
+               && std::isspace(static_cast<unsigned char>(buf[pos])))
+            ++pos;
+    }
+
+    std::string buf;
+    size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+base::Status
+saveGapManifest(const std::string &path, const GapManifest &manifest)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return base::ErrorCode::Denied;
+    std::fprintf(f, "{\n  \"campaign_fingerprint\": \"%016" PRIx64
+                    "\",\n  \"total_trials\": %" PRIu64 ",\n",
+                 manifest.campaignFingerprint, manifest.totalTrials);
+    const CampaignParams &c = manifest.campaign;
+    std::fprintf(f,
+                 "  \"campaign\": {\n"
+                 "    \"trials\": %" PRIu64 ",\n"
+                 "    \"threads\": %" PRIu32 ",\n"
+                 "    \"seed\": %" PRIu64 ",\n"
+                 "    \"host_gib\": %" PRIu64 ",\n"
+                 "    \"fault_seed\": %" PRIu64 ",\n"
+                 "    \"fault_intensity\": %.17g,\n"
+                 "    \"checkpoint_every\": %" PRIu64 "\n  },\n",
+                 c.trials, c.threads, c.seed, c.hostGib, c.faultSeed,
+                 c.faultIntensity, c.checkpointEvery);
+    std::fprintf(f, "  \"artifacts\": [");
+    for (size_t i = 0; i < manifest.artifacts.size(); ++i) {
+        std::fprintf(f, "%s\n    ", i == 0 ? "" : ",");
+        writeJsonString(f, manifest.artifacts[i]);
+    }
+    std::fprintf(f, "%s],\n",
+                 manifest.artifacts.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"missing\": [");
+    for (size_t i = 0; i < manifest.missing.size(); ++i)
+        std::fprintf(f, "%s[%" PRIu64 ", %" PRIu64 "]",
+                     i == 0 ? "" : ", ", manifest.missing[i].begin,
+                     manifest.missing[i].end);
+    std::fprintf(f, "]\n}\n");
+    if (std::fclose(f) != 0)
+        return base::ErrorCode::Denied;
+    return base::Status::success();
+}
+
+base::Expected<GapManifest>
+loadGapManifest(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return base::ErrorCode::NotFound;
+    std::string text;
+    char chunk[4096];
+    size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        text.append(chunk, n);
+    std::fclose(f);
+
+    JsonCursor c(std::move(text));
+    GapManifest m;
+    c.expect('{');
+    c.key("campaign_fingerprint");
+    m.campaignFingerprint = c.hexU64();
+    c.expect(',');
+    c.key("total_trials");
+    m.totalTrials = c.u64();
+    c.expect(',');
+    c.key("campaign");
+    c.expect('{');
+    c.key("trials");
+    m.campaign.trials = c.u64();
+    c.expect(',');
+    c.key("threads");
+    m.campaign.threads = static_cast<uint32_t>(c.u64());
+    c.expect(',');
+    c.key("seed");
+    m.campaign.seed = c.u64();
+    c.expect(',');
+    c.key("host_gib");
+    m.campaign.hostGib = c.u64();
+    c.expect(',');
+    c.key("fault_seed");
+    m.campaign.faultSeed = c.u64();
+    c.expect(',');
+    c.key("fault_intensity");
+    m.campaign.faultIntensity = c.f64();
+    c.expect(',');
+    c.key("checkpoint_every");
+    m.campaign.checkpointEvery = c.u64();
+    c.expect('}');
+    c.expect(',');
+    c.key("artifacts");
+    c.expect('[');
+    if (!c.peekConsume(']')) {
+        do
+            m.artifacts.push_back(c.string());
+        while (c.ok() && c.peekConsume(','));
+        c.expect(']');
+    }
+    c.expect(',');
+    c.key("missing");
+    c.expect('[');
+    if (!c.peekConsume(']')) {
+        do {
+            shard::ShardRange range;
+            c.expect('[');
+            range.begin = c.u64();
+            c.expect(',');
+            range.end = c.u64();
+            c.expect(']');
+            m.missing.push_back(range);
+        } while (c.ok() && c.peekConsume(','));
+        c.expect(']');
+    }
+    c.expect('}');
+    if (!c.ok()) {
+        base::warn("gap manifest '%s': malformed", path.c_str());
+        return base::ErrorCode::InvalidArgument;
+    }
+    for (const shard::ShardRange &range : m.missing) {
+        if (range.begin >= range.end
+            || range.end > m.totalTrials)
+            return base::ErrorCode::InvalidArgument;
+    }
+    return m;
+}
+
+std::string
+readHeartbeat(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return {};
+    char buf[64];
+    const size_t n = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    return std::string(buf, n);
+}
+
+} // namespace hh::dispatch

@@ -1,0 +1,39 @@
+#include "dispatch/wall.h"
+
+#include <chrono>
+#include <thread>
+
+#include <sys/stat.h>
+#include <time.h>
+
+namespace hh::dispatch {
+
+double
+monotonicSeconds()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+void
+sleepSeconds(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds));
+}
+
+double
+fileAgeSeconds(const std::string &path)
+{
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        return -1.0;
+    const double now = static_cast<double>(::time(nullptr));
+    const double mtime = static_cast<double>(st.st_mtime);
+    return now > mtime ? now - mtime : 0.0;
+}
+
+} // namespace hh::dispatch

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The dispatch layer's wall-clock shim.
+ *
+ * The supervisor is the one component that legitimately lives on host
+ * time: lease deadlines, poll sleeps and artifact staleness are
+ * properties of real processes on a real machine, not of the simulated
+ * world (SimClock). All of that host time is concentrated here -- and
+ * none of it ever feeds into trial results, so the determinism
+ * contract (DESIGN.md section 3.2) is untouched: retry *decisions*
+ * derive from seeded streams, only their pacing is wall time.
+ *
+ * wall.cc is the sole dispatch file exempt from hh-lint's wall-clock
+ * rule (.hh-lint.toml); everything else in src/dispatch must go
+ * through these helpers.
+ */
+
+#ifndef HYPERHAMMER_DISPATCH_WALL_H
+#define HYPERHAMMER_DISPATCH_WALL_H
+
+#include <string>
+
+namespace hh::dispatch {
+
+/** Seconds on a monotonic clock (process-local epoch). */
+double monotonicSeconds();
+
+/** Block the calling thread for @p seconds (best effort). */
+void sleepSeconds(double seconds);
+
+/**
+ * Seconds since @p path was last modified, or a negative value when
+ * the file does not exist. Used to tell an abandoned partial artifact
+ * (stale, safe to take over) from one a live worker is still writing.
+ */
+double fileAgeSeconds(const std::string &path);
+
+} // namespace hh::dispatch
+
+#endif // HYPERHAMMER_DISPATCH_WALL_H

@@ -39,6 +39,14 @@ naturalKind(FaultSite site)
         return FaultKind::LostFlip;
     case FaultSite::SteerRelease:
         return FaultKind::SteerMiss;
+    case FaultSite::DispatchSpawn:
+        return FaultKind::SpawnFail;
+    case FaultSite::DispatchHeartbeat:
+        return FaultKind::HeartbeatLoss;
+    case FaultSite::DispatchArtifact:
+        return FaultKind::TornArtifact;
+    case FaultSite::DispatchMerge:
+        return FaultKind::SpuriousBusy;
     case FaultSite::kCount:
         break;
     }
@@ -77,6 +85,14 @@ kindName(FaultKind kind)
         return "lost-flip";
     case FaultKind::SteerMiss:
         return "steer-miss";
+    case FaultKind::SpawnFail:
+        return "spawn-fail";
+    case FaultKind::HeartbeatLoss:
+        return "heartbeat-loss";
+    case FaultKind::TornArtifact:
+        return "torn-artifact";
+    case FaultKind::SpuriousBusy:
+        return "spurious-busy";
     }
     return "unknown";
 }
@@ -112,7 +128,22 @@ FaultPlan::randomized(uint64_t plan_seed, double intensity)
         const bool hot = site == FaultSite::DramRead ||
                          site == FaultSite::KsmScan ||
                          site == FaultSite::DramEcc;
-        entry.probability = (hot ? 0.001 : 0.05) * intensity;
+        // Dispatch sites see a handful of consults per sweep (one per
+        // launch / lease scan / artifact collection), not millions, so
+        // they need a much denser gate to fire at all in a soak run.
+        const bool dispatch = site == FaultSite::DispatchSpawn ||
+                              site == FaultSite::DispatchHeartbeat ||
+                              site == FaultSite::DispatchArtifact ||
+                              site == FaultSite::DispatchMerge;
+        entry.probability =
+            (hot ? 0.001 : dispatch ? 0.30 : 0.05) * intensity;
+        if (dispatch) {
+            // Every consult must be eligible: with only a few
+            // occurrences per sweep, a sparse window would make the
+            // chaos legs vacuously green.
+            entry.firstHit = rng.below(4);
+            entry.every = 1;
+        }
         entry.param = rng.below(64);
         // mm.alloc_pages fires on every use class in soak mode.
         if (site == FaultSite::MmAlloc)

@@ -43,6 +43,10 @@ enum class FaultKind : uint8_t
     ScanRace,       ///< sys: a guest write races KSM, page skipped
     LostFlip,       ///< attack: a hammer pass fails to retrigger a bit
     SteerMiss,      ///< attack: a release lands on the wrong sub-block
+    SpawnFail,      ///< dispatch: launching a shard worker fails
+    HeartbeatLoss,  ///< dispatch: a live worker's heartbeat goes silent
+    TornArtifact,   ///< dispatch: a shard artifact write is truncated
+    SpuriousBusy,   ///< dispatch: merge-time collection answers Busy
 };
 
 /** Registered injection points (src/fault/fault_sites.def). */

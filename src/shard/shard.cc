@@ -46,6 +46,17 @@ shardSane(const ShardResult &shard)
         && shard.outcomes.size() <= m.range.size();
 }
 
+/** Append a hole, coalescing with an adjacent predecessor. */
+void
+addMissing(std::vector<ShardRange> &missing, ShardRange hole)
+{
+    if (!missing.empty() && missing.back().end == hole.begin) {
+        missing.back().end = hole.end;
+        return;
+    }
+    missing.push_back(hole);
+}
+
 } // namespace
 
 base::Status
@@ -56,6 +67,7 @@ saveShard(const std::string &path, const ShardResult &shard)
     w.u64(shard.manifest.totalTrials);
     w.u64(shard.manifest.range.begin);
     w.u64(shard.manifest.range.end);
+    w.boolean(shard.terminal);
     w.u64(shard.outcomes.size());
     for (const attack::AttemptOutcome &outcome : shard.outcomes)
         attack::writeOutcome(w, outcome);
@@ -78,6 +90,7 @@ loadShard(const std::string &path)
     shard.manifest.totalTrials = r.u64();
     shard.manifest.range.begin = r.u64();
     shard.manifest.range.end = r.u64();
+    shard.terminal = r.boolean();
     const uint64_t n = r.count(attack::kOutcomeBytes);
     shard.outcomes.reserve(n);
     for (uint64_t i = 0; i < n && r.ok(); ++i)
@@ -97,6 +110,15 @@ loadShard(const std::string &path)
 
 base::Expected<attack::AttackResult>
 mergeShards(std::vector<ShardResult> shards)
+{
+    auto report = mergeShards(std::move(shards), MergePolicy{});
+    if (!report)
+        return report.error();
+    return std::move(report->result);
+}
+
+base::Expected<SweepReport>
+mergeShards(std::vector<ShardResult> shards, const MergePolicy &policy)
 {
     if (shards.empty())
         return base::ErrorCode::InvalidArgument;
@@ -120,34 +142,75 @@ mergeShards(std::vector<ShardResult> shards)
               });
 
     const uint64_t total = shards.front().manifest.totalTrials;
-    uint64_t expected = 0;
+
+    // Adversarial inputs reject identically in both modes: two
+    // artifacts claiming the same trials is corruption, not a hole a
+    // heal run could close.
+    uint64_t covered = 0;
     for (const ShardResult &shard : shards) {
-        if (shard.manifest.range.begin < expected)
+        if (shard.manifest.range.begin < covered)
             return base::ErrorCode::Exists; // duplicate / overlap
-        if (shard.manifest.range.begin > expected)
+        if (!policy.allowPartial && shard.manifest.range.begin > covered)
             return base::ErrorCode::NotFound; // coverage gap
-        expected = shard.manifest.range.end;
+        covered = std::max(covered, shard.manifest.range.end);
     }
-    if (expected != total)
+    if (!policy.allowPartial && covered != total)
         return base::ErrorCode::NotFound; // missing tail shard
 
-    for (const ShardResult &shard : shards) {
-        if (!shard.complete())
-            return base::ErrorCode::Busy; // interrupted; resume first
+    if (!policy.allowPartial) {
+        for (const ShardResult &shard : shards) {
+            if (!shard.complete() || !shard.terminal)
+                return base::ErrorCode::Busy; // interrupted; resume
+        }
     }
 
-    // Concatenate in trial order. aggregateOutcomes truncates at the
-    // campaign's first success, discarding trials a sequential run
-    // never reaches (shards past a success still ran -- each process
-    // is oblivious to the others -- but their outcomes are not part
-    // of the canonical result).
+    // Fold the usable subset in trial order and record every range it
+    // does not cover. An incomplete or non-terminal shard contributes
+    // nothing: its *whole* range becomes a hole, because a heal worker
+    // re-runs the full range (resuming from the worker checkpoint) and
+    // replaces the artifact -- folding its prefix here and its suffix
+    // later would double-count on re-merge.
+    SweepReport report;
+    report.campaignFingerprint =
+        shards.front().manifest.campaignFingerprint;
+    report.totalTrials = total;
+
     std::vector<attack::AttemptOutcome> outcomes;
     outcomes.reserve(total);
-    for (const ShardResult &shard : shards)
+    uint64_t next = 0;          // first trial index not yet accounted
+    uint64_t first_success = total;
+    for (const ShardResult &shard : shards) {
+        const ShardRange range = shard.manifest.range;
+        if (range.begin > next)
+            addMissing(report.missing, ShardRange{next, range.begin});
+        next = std::max(next, range.end);
+        if (!shard.complete() || !shard.terminal) {
+            if (!range.empty())
+                addMissing(report.missing, range);
+            continue;
+        }
+        for (size_t i = 0;
+             i < shard.outcomes.size() && first_success == total; ++i) {
+            if (shard.outcomes[i].success)
+                first_success = range.begin + i;
+        }
         outcomes.insert(outcomes.end(), shard.outcomes.begin(),
                         shard.outcomes.end());
-    return attack::HyperHammerAttack::aggregateOutcomes(
+    }
+    if (next < total)
+        addMissing(report.missing, ShardRange{next, total});
+
+    // aggregateOutcomes truncates at the first success in the folded
+    // sequence -- the campaign's sequential stopping point. Trials a
+    // sequential run never reaches (including every hole past that
+    // success) cannot influence the canonical result, which is what
+    // makes a degraded fold `exact` when the success precedes the
+    // first hole.
+    report.result = attack::HyperHammerAttack::aggregateOutcomes(
         std::move(outcomes));
+    report.exact = report.missing.empty()
+        || (first_success < report.missing.front().begin);
+    return report;
 }
 
 } // namespace hh::shard

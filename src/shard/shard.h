@@ -78,6 +78,16 @@ struct ShardResult
     ShardManifest manifest;
     std::vector<attack::AttemptOutcome> outcomes;
 
+    /**
+     * The worker's final word on this range. A worker that is stopped
+     * mid-range (--stop-after, SIGKILL between checkpoint and artifact)
+     * persists terminal=false; the strict merge treats such an
+     * artifact exactly like incomplete data (Busy), and the dispatch
+     * supervisor uses the flag to tell an abandoned partial write from
+     * a finished shard when deciding on artifact takeover.
+     */
+    bool terminal = true;
+
     /** All trials ran, or the range stopped at its own success. */
     bool complete() const;
 };
@@ -112,13 +122,60 @@ loadShard(const std::string &path);
  *    campaign.
  *  - Exists: duplicate or overlapping ranges.
  *  - NotFound: a gap in coverage (a shard artifact is missing).
- *  - Busy: a shard is incomplete (interrupted; resume it first).
+ *  - Busy: a shard is incomplete or non-terminal (interrupted;
+ *    resume it first).
  *
  * Input order is irrelevant: shards are sorted by range before
  * validation, so any arrival order merges identically.
  */
 [[nodiscard]] base::Expected<attack::AttackResult>
 mergeShards(std::vector<ShardResult> shards);
+
+/** How the reporting merge treats holes in the tiling. */
+struct MergePolicy
+{
+    /**
+     * Fold whatever healthy subset is present instead of rejecting on
+     * gaps: missing, incomplete and non-terminal ranges land in
+     * SweepReport::missing rather than producing NotFound/Busy.
+     * Adversarial inputs (duplicates, overlaps, foreign fingerprints,
+     * insane manifests) are still typed rejections in either mode.
+     */
+    bool allowPartial = false;
+};
+
+/**
+ * Product of the reporting merge: the folded result plus exactly which
+ * trial ranges did not contribute. `exact` says whether the result is
+ * already the canonical full-campaign result -- true when nothing is
+ * missing, or when the folded prefix reaches a success before the
+ * first hole (aggregateOutcomes truncates there, so trials past it
+ * can never influence the canonical result).
+ */
+struct SweepReport
+{
+    attack::AttackResult result;
+    uint64_t campaignFingerprint = 0;
+    uint64_t totalTrials = 0;
+    /** Uncovered ranges, sorted and coalesced; empty when complete. */
+    std::vector<ShardRange> missing;
+    /** True when `result` equals the canonical full-campaign result. */
+    bool exact = false;
+
+    /** At least one range is missing (the sweep ran degraded). */
+    bool partial() const { return !missing.empty(); }
+};
+
+/**
+ * The reporting merge behind mergeShards(). With
+ * policy.allowPartial == false it enforces the exact-tiling contract
+ * (the strict overload forwards here); with allowPartial == true a
+ * quarantined or still-running sweep can be folded degraded, and
+ * `hh_sweep heal` later closes SweepReport::missing and re-merges to
+ * the bitwise-identical full result.
+ */
+[[nodiscard]] base::Expected<SweepReport>
+mergeShards(std::vector<ShardResult> shards, const MergePolicy &policy);
 
 } // namespace hh::shard
 

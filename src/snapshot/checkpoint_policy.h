@@ -13,6 +13,7 @@
 #define HYPERHAMMER_SNAPSHOT_CHECKPOINT_POLICY_H
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 namespace hh::snapshot {
@@ -52,6 +53,15 @@ struct CheckpointPolicy
      */
     uint64_t stopAfterTrials = 0;
 
+    /**
+     * Liveness file for a supervising dispatcher: the campaign rewrites
+     * it with the completed-trial count at range start and after every
+     * finished trial block, independent of checkpoint cadence. Empty
+     * disables it. Purely observational -- the file never feeds back
+     * into trial results, so the determinism contract is untouched.
+     */
+    std::string heartbeatPath;
+
     /** True when periodic checkpoint writes are requested. */
     bool
     enabled() const
@@ -59,6 +69,27 @@ struct CheckpointPolicy
         return !path.empty() && everyTrials > 0;
     }
 };
+
+/**
+ * Rewrite @p path with @p completed_trials. A plain in-place rewrite,
+ * not an atomic rename: the reader (the dispatch supervisor) only
+ * compares successive contents for change, so a torn read at worst
+ * looks like one extra change -- which refreshes the lease, the safe
+ * direction. Failures are deliberately swallowed: liveness reporting
+ * must never kill a healthy campaign.
+ */
+inline void
+touchHeartbeat(const std::string &path, uint64_t completed_trials)
+{
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return;
+    std::fprintf(f, "%llu\n",
+                 static_cast<unsigned long long>(completed_trials));
+    std::fclose(f);
+}
 
 } // namespace hh::snapshot
 

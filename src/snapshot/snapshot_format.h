@@ -34,6 +34,9 @@ constexpr uint64_t kCheckpointMagic = 0x4848434b50540a01ull;
 /** Sharded-sweep range artifact (shard::saveShard): "HHSHRD\n" + v. */
 constexpr uint64_t kShardMagic = 0x4848534852440a01ull;
 
+/** Dispatch supervisor ledger (dispatch::saveLedger): "HHLEDG\n" + v. */
+constexpr uint64_t kLedgerMagic = 0x48484c4544470a01ull;
+
 /**
  * Format version of every serialized payload. One shared version: a
  * change in any subsystem's encoding invalidates all snapshot kinds,
@@ -56,8 +59,16 @@ constexpr uint64_t kShardMagic = 0x4848534852440a01ull;
  * campaign checkpoints append a defense-state block, and the host
  * config fingerprint covers the domain layout and ECC correction
  * strength. Pre-mitigation snapshots are rejected by version.
+ *
+ * v5: the supervised sweep dispatcher. Shard artifacts carry a
+ * terminal flag (a worker's final word on its range, distinguishing a
+ * finished shard from an abandoned partial write), the fault-site
+ * registry gained the four dispatch.* sites (the injector serializes
+ * one counter/RNG block per registered site, so its payload grew),
+ * and the supervisor's ledger joined the archive family under
+ * kLedgerMagic. Pre-dispatch artifacts are rejected by version.
  */
-constexpr uint32_t kSnapshotFormatVersion = 4;
+constexpr uint32_t kSnapshotFormatVersion = 5;
 
 } // namespace hh::snapshot
 

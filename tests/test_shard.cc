@@ -315,6 +315,214 @@ TEST(MergeShards, ArrivalOrderIsIrrelevant)
         snapshot::diffAttackResults(*reference, *merged).empty());
 }
 
+// ----------------------------------------------------------- partial merge
+
+shard::MergePolicy
+partialPolicy()
+{
+    shard::MergePolicy policy;
+    policy.allowPartial = true;
+    return policy;
+}
+
+TEST(PartialMerge, CoverageGapBecomesMissingRange)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 3));
+    shards.push_back(syntheticShard(1, 8, 5, 8));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    EXPECT_TRUE(report->partial());
+    ASSERT_EQ(report->missing.size(), 1u);
+    EXPECT_EQ(report->missing[0].begin, 3u);
+    EXPECT_EQ(report->missing[0].end, 5u);
+    EXPECT_FALSE(report->exact); // no success before the hole
+    EXPECT_EQ(report->result.attempts, 6u);
+    EXPECT_EQ(report->campaignFingerprint, 1u);
+    EXPECT_EQ(report->totalTrials, 8u);
+}
+
+TEST(PartialMerge, TailHoleIsReported)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    ASSERT_EQ(report->missing.size(), 1u);
+    EXPECT_EQ(report->missing[0].begin, 4u);
+    EXPECT_EQ(report->missing[0].end, 8u);
+}
+
+TEST(PartialMerge, NonTerminalShardBecomesItsWholeRangeAsHole)
+{
+    // An abandoned worker's partial artifact contributes nothing: its
+    // WHOLE range is a hole, so a later heal recomputes it from the
+    // checkpoint and a re-merge cannot double-count its prefix.
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    shard::ShardResult cut = syntheticShard(1, 8, 4, 8);
+    cut.outcomes.resize(2);
+    cut.terminal = false;
+    shards.push_back(std::move(cut));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    ASSERT_EQ(report->missing.size(), 1u);
+    EXPECT_EQ(report->missing[0].begin, 4u);
+    EXPECT_EQ(report->missing[0].end, 8u);
+    EXPECT_EQ(report->result.attempts, 4u);
+}
+
+TEST(PartialMerge, NonTerminalCompleteShardIsStillAHole)
+{
+    // terminal=false with a full outcome vector (killed between the
+    // last trial and the final save): the flag alone decides.
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    shard::ShardResult cut = syntheticShard(1, 8, 4, 8);
+    cut.terminal = false;
+    shards.push_back(std::move(cut));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    ASSERT_EQ(report->missing.size(), 1u);
+    EXPECT_EQ(report->missing[0].begin, 4u);
+}
+
+TEST(PartialMerge, NonTerminalShardIsBusyInStrictMode)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    shard::ShardResult cut = syntheticShard(1, 8, 4, 8);
+    cut.terminal = false;
+    shards.push_back(std::move(cut));
+    const auto merged = shard::mergeShards(std::move(shards));
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.error(), base::ErrorCode::Busy);
+}
+
+TEST(PartialMerge, AdjacentHolesCoalesce)
+{
+    // A gap [2, 4) flows straight into a non-terminal shard's range
+    // [4, 6): one hole [2, 6), not two.
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 2));
+    shard::ShardResult cut = syntheticShard(1, 8, 4, 6);
+    cut.terminal = false;
+    shards.push_back(std::move(cut));
+    shards.push_back(syntheticShard(1, 8, 6, 8));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    ASSERT_EQ(report->missing.size(), 1u);
+    EXPECT_EQ(report->missing[0].begin, 2u);
+    EXPECT_EQ(report->missing[0].end, 6u);
+}
+
+TEST(PartialMerge, ExactWhenSuccessPrecedesTheFirstHole)
+{
+    // The campaign succeeded at trial 2, so the sequential run never
+    // reaches the hole at [4, 8): the degraded fold IS the canonical
+    // result, and must equal the strict merge of a tiling set.
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4, /*success_at=*/2));
+    auto degraded =
+        shard::mergeShards({shards[0]}, partialPolicy());
+    ASSERT_TRUE(degraded.ok()) << base::errorName(degraded.error());
+    EXPECT_TRUE(degraded->partial());
+    EXPECT_TRUE(degraded->exact);
+
+    shards.push_back(syntheticShard(1, 8, 4, 8));
+    const auto full = shard::mergeShards(std::move(shards));
+    ASSERT_TRUE(full.ok());
+    EXPECT_TRUE(snapshot::diffAttackResults(degraded->result, *full)
+                    .empty());
+}
+
+TEST(PartialMerge, NotExactWhenSuccessFollowsTheFirstHole)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 2));
+    shards.push_back(syntheticShard(1, 8, 4, 8, /*success_at=*/5));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    ASSERT_EQ(report->missing.size(), 1u);
+    EXPECT_EQ(report->missing[0].begin, 2u);
+    // A hole precedes the success: the real campaign might have
+    // succeeded inside [2, 4) first, so this fold is not canonical.
+    EXPECT_FALSE(report->exact);
+}
+
+TEST(PartialMerge, FullTilingIsExactAndNotPartial)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    shards.push_back(syntheticShard(1, 8, 4, 8));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_TRUE(report.ok()) << base::errorName(report.error());
+    EXPECT_FALSE(report->partial());
+    EXPECT_TRUE(report->exact);
+    EXPECT_TRUE(report->missing.empty());
+}
+
+TEST(PartialMerge, DuplicatesAreStillRejected)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error(), base::ErrorCode::Exists);
+}
+
+TEST(PartialMerge, OverlapsAreStillRejected)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 5));
+    shards.push_back(syntheticShard(1, 8, 3, 8));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error(), base::ErrorCode::Exists);
+}
+
+TEST(PartialMerge, ForeignFingerprintIsStillRejected)
+{
+    std::vector<shard::ShardResult> shards;
+    shards.push_back(syntheticShard(1, 8, 0, 4));
+    shards.push_back(syntheticShard(2, 8, 4, 8));
+    const auto report =
+        shard::mergeShards(std::move(shards), partialPolicy());
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error(), base::ErrorCode::InvalidArgument);
+}
+
+TEST(PartialMerge, EmptyInputIsStillInvalid)
+{
+    const auto report =
+        shard::mergeShards({}, partialPolicy());
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error(), base::ErrorCode::InvalidArgument);
+}
+
+TEST(ShardArtifact, TerminalFlagRoundTrips)
+{
+    const std::string path = ::testing::TempDir() + "shard_term.bin";
+    shard::ShardResult cut = syntheticShard(1, 8, 4, 8);
+    cut.outcomes.resize(2);
+    cut.terminal = false;
+    ASSERT_TRUE(shard::saveShard(path, cut).ok());
+    const auto loaded = shard::loadShard(path);
+    ASSERT_TRUE(loaded.ok()) << base::errorName(loaded.error());
+    EXPECT_FALSE(loaded->terminal);
+    EXPECT_FALSE(loaded->complete());
+}
+
 // ------------------------------------------------------- identity matrix
 
 sys::SystemConfig
